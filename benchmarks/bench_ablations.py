@@ -1,0 +1,214 @@
+"""Ablations of IAM's design choices (DESIGN.md Section 6):
+
+1. unbiased vs vanilla (biased) progressive sampling — Section 5.2;
+2. interval-mass estimator: Monte-Carlo (paper) vs exact CDF vs
+   empirical per-component fractions (Theorem 5.1's exact quantity);
+3. joint vs separate training — Section 4.3;
+4. argmax vs sampled component assignment — Section 4.2;
+5. column order — natural vs random vs smallest-domain-first;
+6. GMM Monte-Carlo sample count S — "Impact of GMM Sample Number".
+"""
+
+from repro.bench import experiments, record_table
+
+
+def test_ablation_unbiased_sampling(benchmark):
+    headers, rows = experiments.ablation_table(
+        "twi",
+        {
+            "unbiased (paper)": {"bias_correction": True},
+            "biased (vanilla)": {"bias_correction": False},
+        },
+    )
+    record_table("ablation_unbiased", headers, rows,
+                 title="Ablation: unbiased vs vanilla progressive sampling (TWI)")
+    by_name = {row[0]: row for row in rows}
+    # The biased variant counts whole components: much worse everywhere.
+    assert by_name["unbiased (paper)"][1] <= by_name["biased (vanilla)"][1]
+
+    estimator, _ = experiments.get_estimator("iam", "twi")
+    _, test = experiments.get_workloads("twi")
+    benchmark(estimator.estimate_many, test.queries[:8])
+
+
+def test_ablation_interval_estimator(benchmark):
+    headers, rows = experiments.ablation_table(
+        "twi",
+        {
+            "montecarlo (paper)": {"interval_kind": "montecarlo"},
+            "exact CDF": {"interval_kind": "exact"},
+            "empirical": {"interval_kind": "empirical"},
+        },
+    )
+    record_table("ablation_interval", headers, rows,
+                 title="Ablation: interval-mass estimator for P_GMM(R) (TWI)")
+
+    estimator, _ = experiments.get_estimator("iam", "twi")
+    _, test = experiments.get_workloads("twi")
+    benchmark(estimator.estimate_many, test.queries[:8])
+
+
+def test_ablation_training_mode(benchmark):
+    headers, rows = experiments.ablation_table(
+        "wisdm",
+        {
+            "joint (paper)": {"joint_training": True},
+            "separate": {"joint_training": False},
+        },
+    )
+    record_table("ablation_training", headers, rows,
+                 title="Ablation: joint vs separate GMM/AR training (WISDM)")
+
+    estimator, _ = experiments.get_estimator("iam", "wisdm")
+    _, test = experiments.get_workloads("wisdm")
+    benchmark(estimator.estimate_many, test.queries[:8])
+
+
+def test_ablation_assignment(benchmark):
+    headers, rows = experiments.ablation_table(
+        "twi",
+        {
+            "argmax (paper)": {"assignment": "argmax"},
+            "sampled": {"assignment": "sampled"},
+        },
+    )
+    record_table("ablation_assignment", headers, rows,
+                 title="Ablation: argmax vs sampled component assignment (TWI)")
+
+    estimator, _ = experiments.get_estimator("iam", "twi")
+    _, test = experiments.get_workloads("twi")
+    benchmark(estimator.estimate_many, test.queries[:8])
+
+
+def test_ablation_column_order(benchmark):
+    headers, rows = experiments.ablation_table(
+        "wisdm",
+        {
+            "natural (paper)": {"order": "natural"},
+            "random": {"order": "random"},
+            "min-domain-first": {"order": "mindomain"},
+        },
+    )
+    record_table("ablation_order", headers, rows,
+                 title="Ablation: AR column order (WISDM)")
+
+    estimator, _ = experiments.get_estimator("iam", "wisdm")
+    _, test = experiments.get_workloads("wisdm")
+    benchmark(estimator.estimate_many, test.queries[:8])
+
+
+def test_ablation_multi_column_gmm(benchmark):
+    """Section 4.2's other design alternative: one multivariate GMM over
+    all reduced columns vs the paper's one-GMM-per-column.
+
+    NOTE an honest divergence: on these *synthetic* datasets the joint
+    GMM can win, because the generators are literally Gaussian mixtures
+    (the joint GMM is the true model family). The paper's preliminary
+    experiments on real data found no gain; the memory argument (full
+    covariances are O(n^2)) is also softened here by diagonal
+    covariances. See EXPERIMENTS.md.
+    """
+    from repro.bench.config import bench_scale
+    from repro.estimators.multigmm import IAMMultiGMM
+    from repro.metrics import summarize
+
+    scale = bench_scale()
+    table = experiments.get_table("twi")
+    _, test = experiments.get_workloads("twi")
+
+    multi = IAMMultiGMM(
+        n_components=scale.n_components,
+        epochs=scale.ar_epochs,
+        hidden_sizes=scale.ar_hidden,
+        learning_rate=1e-2,
+        n_progressive_samples=scale.progressive_samples,
+        seed=0,
+    ).fit(table)
+    per_column, _ = experiments.get_estimator("iam", "twi")
+
+    rows = []
+    for label, estimator in (("per-column (paper)", per_column), ("joint multivariate", multi)):
+        summary = summarize(
+            test.true_selectivities, estimator.estimate_many(test.queries), table.num_rows
+        )
+        rows.append([label, *[round(v, 2) for v in summary.as_row()]])
+    record_table("ablation_multigmm", ["Variant", "Mean", "Median", "95th", "99th", "Max"],
+                 rows, title="Ablation: one GMM per column vs one joint GMM (TWI)")
+
+    benchmark(multi.estimate_many, test.queries[:8])
+
+
+def test_ablation_stratified_sampling(benchmark):
+    """Variance reduction: systematic draws on the first constrained
+    column (an engineering extension; unbiasedness proven by tests)."""
+    headers, rows = experiments.ablation_table(
+        "twi",
+        {
+            "iid (paper)": {"stratified_sampling": False},
+            "stratified first column": {"stratified_sampling": True},
+        },
+    )
+    record_table("ablation_stratified", headers, rows,
+                 title="Ablation: iid vs stratified progressive sampling (TWI)")
+
+    estimator, _ = experiments.get_estimator("iam", "twi")
+    _, test = experiments.get_workloads("twi")
+    benchmark(estimator.estimate_many, test.queries[:8])
+
+
+def test_ablation_factorization_budget(benchmark):
+    """Neurocard's subcolumn-size knob: smaller max_subdomain forces more
+    digits (narrower layers, longer AR chains). Paper context: they fix
+    2^11; with laptop-scale domains the digit count flips at small caps.
+    """
+    from repro.bench.config import bench_scale
+    from repro.estimators import build_estimator
+    from repro.metrics import summarize
+
+    scale = bench_scale()
+    table = experiments.get_table("twi")
+    _, test = experiments.get_workloads("twi")
+    rows = []
+    for cap in (2**11, 128, 24):
+        estimator = build_estimator(
+            "naru",
+            epochs=scale.ar_epochs,
+            hidden_sizes=scale.ar_hidden,
+            learning_rate=1e-2,
+            n_progressive_samples=scale.progressive_samples,
+            factorize_threshold=1000,
+            max_subdomain=cap,
+            seed=0,
+        ).fit(table)
+        digits = max(
+            len(slots) for slots in estimator._plan.column_slots
+        )
+        summary = summarize(
+            test.true_selectivities, estimator.estimate_many(test.queries), table.num_rows
+        )
+        rows.append([f"cap {cap} ({digits} digits)",
+                     round(summary.median, 2), round(summary.p95, 2),
+                     round(summary.max, 1),
+                     round(estimator.size_bytes() / 2**20, 3)])
+    record_table("ablation_factorization", ["Budget", "Median", "95th", "Max", "Size MB"],
+                 rows, title="Ablation: Neurocard factorization budget (TWI)")
+
+    estimator, _ = experiments.get_estimator("naru", "twi")
+    benchmark(estimator.estimate_many, test.queries[:8])
+
+
+def test_ablation_gmm_sample_count(benchmark):
+    headers, rows = experiments.ablation_table(
+        "twi",
+        {
+            "S=100": {"samples_per_component": 100},
+            "S=1000": {"samples_per_component": 1000},
+            "S=10000 (paper)": {"samples_per_component": 10_000},
+        },
+    )
+    record_table("ablation_gmm_samples", headers, rows,
+                 title="Ablation: GMM Monte-Carlo sample count S (TWI)")
+
+    estimator, _ = experiments.get_estimator("iam", "twi")
+    _, test = experiments.get_workloads("twi")
+    benchmark(estimator.estimate_many, test.queries[:8])

@@ -1,0 +1,17 @@
+"""Figure 4: single-query inference time per estimator per dataset."""
+
+import pytest
+
+from repro.bench import experiments, record_table
+
+
+@pytest.mark.parametrize("dataset", experiments.SINGLE_TABLE_DATASETS)
+def test_fig4_inference_time(benchmark, dataset):
+    headers, rows = experiments.inference_times(dataset)
+    record_table(f"fig4_inference_{dataset}", headers, rows,
+                 title=f"Figure 4: single-query inference time on {dataset.upper()} (ms)")
+
+    estimator, _ = experiments.get_estimator("iam", dataset)
+    _, test = experiments.get_workloads(dataset)
+    query = test.queries[0]
+    benchmark(estimator.estimate, query)

@@ -1,0 +1,34 @@
+"""Figure 6 (max error vs training epochs) and Table 8 (training time)."""
+
+from repro.bench import experiments, record_table
+from repro.bench.config import bench_scale
+
+
+def test_fig6_training_curve(benchmark):
+    curve, total_seconds = experiments.training_curve("twi")
+    rows = [[epoch + 1, round(err, 2)] for epoch, err in curve]
+    record_table("fig6_training_curve", ["Epoch", "Max q-error"], rows,
+                 title=f"Figure 6: max error vs epochs on TWI "
+                       f"(total fit {total_seconds:.1f}s, reproduced)")
+    # Training must reduce max error substantially from epoch 1.
+    assert curve[-1][1] <= curve[0][1]
+
+    scale = bench_scale()
+    from repro.core import IAM, IAMConfig
+
+    config = IAMConfig(epochs=1, hidden_sizes=(32, 32, 32), n_components=8,
+                       samples_per_component=500, seed=0)
+    table = experiments.get_table("twi").sample_rows(2000, rng=0)
+
+    benchmark(lambda: IAM(config).fit(table))
+
+
+def test_table8_training_times(benchmark):
+    headers, rows = experiments.training_times("twi")
+    record_table("table8_training_time", headers, rows,
+                 title="Table 8: training time (s) on TWI (reproduced)")
+    by_name = dict(rows)
+    # IAM trains GMMs + AR: slower than Naru but same order of magnitude.
+    assert by_name["iam"] < by_name["naru"] * 10
+
+    benchmark(lambda: experiments.get_estimator("iam", "twi"))

@@ -1,0 +1,22 @@
+"""Figure 7 (accuracy vs number of GMM components) and Table 12 (model
+size vs components).
+
+Expected shape: errors fall steeply from K=1 to ~K=10-30 then plateau;
+model size grows monotonically in K.
+"""
+
+from repro.bench import experiments, record_table
+
+
+def test_fig7_table12_component_sweep(benchmark):
+    headers, rows = experiments.component_sweep("twi", counts=(1, 5, 10, 20, 30))
+    record_table("fig7_table12_components", headers, rows,
+                 title="Figure 7 / Table 12: varying the number of components on TWI")
+    maxes = [row[3] for row in rows]
+    sizes = [row[4] for row in rows]
+    assert maxes[0] >= maxes[-1]  # K=1 is the worst
+    assert sizes == sorted(sizes)  # size monotone in K
+
+    estimator, _ = experiments.get_estimator("iam", "twi")
+    _, test = experiments.get_workloads("twi")
+    benchmark(estimator.estimate_many, test.queries[:8])

@@ -1,0 +1,13 @@
+"""Table 1: dataset statistics (rows, column types, joint size, NCIE,
+skewness) for the three single-table datasets."""
+
+from repro.bench import experiments, record_table
+from repro.data.stats import ncie
+
+
+def test_table1_dataset_statistics(benchmark):
+    headers, rows = experiments.dataset_statistics()
+    record_table("table1_datasets", headers, rows,
+                 title="Table 1: datasets in evaluation (reproduced)")
+    table = experiments.get_table("twi")
+    benchmark(ncie, table.as_matrix())

@@ -1,0 +1,16 @@
+"""Table 3: q-error quantiles of every estimator on TWI (spatial)."""
+
+from repro.bench import experiments, record_table
+
+
+def test_table3_twi_accuracy(benchmark):
+    headers, rows, summaries = experiments.accuracy_table("twi")
+    record_table("table3_twi", headers, rows,
+                 title="Table 3: estimation errors on TWI (reproduced)")
+    # AR-based estimators must dominate independence at the tail on
+    # strongly-correlated spatial data.
+    assert summaries["iam"].p95 <= summaries["postgres"].p95
+
+    estimator, _ = experiments.get_estimator("iam", "twi")
+    _, test = experiments.get_workloads("twi")
+    benchmark(estimator.estimate_many, test.queries[:16])

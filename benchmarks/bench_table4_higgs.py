@@ -1,0 +1,16 @@
+"""Table 4: q-error quantiles of every estimator on HIGGS (7 skewed
+continuous columns, weak correlation)."""
+
+from repro.bench import experiments, record_table
+
+
+def test_table4_higgs_accuracy(benchmark):
+    headers, rows, summaries = experiments.accuracy_table("higgs")
+    record_table("table4_higgs", headers, rows,
+                 title="Table 4: estimation errors on HIGGS (reproduced)")
+    # Uniform-spread estimators suffer most on extreme skew.
+    assert summaries["iam"].max <= summaries["mhist"].max
+
+    estimator, _ = experiments.get_estimator("iam", "higgs")
+    _, test = experiments.get_workloads("higgs")
+    benchmark(estimator.estimate_many, test.queries[:16])

@@ -1,0 +1,13 @@
+"""Table 5: join-query q-errors on the IMDB-like star schema."""
+
+from repro.bench import experiments, record_table
+
+
+def test_table5_imdb_join_accuracy(benchmark):
+    headers, rows = experiments.join_accuracy_table()
+    record_table("table5_imdb", headers, rows,
+                 title="Table 5: estimation errors on IMDB joins (reproduced)")
+
+    estimator, _ = experiments.get_join_estimator("iam")
+    _, test = experiments.get_join_workloads()
+    benchmark(estimator.estimate_cardinalities, test.queries[:8])

@@ -1,0 +1,15 @@
+"""Table 6: model sizes (MB). Expected shape: IAM < Naru/Neurocard on
+every dataset (K-wide GMM heads instead of factorized sqrt(D)-wide ones)."""
+
+from repro.bench import experiments, record_table
+
+
+def test_table6_model_sizes(benchmark):
+    headers, rows = experiments.model_sizes()
+    record_table("table6_model_size", headers, rows,
+                 title="Table 6: model sizes (MB, reproduced)")
+    sizes = {row[0]: row[1:] for row in rows}
+    assert all(i <= n for i, n in zip(sizes["iam"], sizes["naru"]))
+
+    estimator, _ = experiments.get_estimator("iam", "twi")
+    benchmark(estimator.size_bytes)

@@ -1,0 +1,20 @@
+"""Table 7: batch-inference ms/query vs batch size on IMDB joins."""
+
+from repro.bench import experiments, record_table
+
+
+def test_table7_batch_inference(benchmark):
+    headers, rows = experiments.batch_inference_table()
+    record_table("table7_batch_inference", headers, rows,
+                 title="Table 7: inference time with batch query processing (ms/query)")
+    by_name = {row[0]: row[1:] for row in rows}
+    # Batching must not regress the AR estimators (the paper's GPU gains
+    # come from kernel-launch amortisation; CPU numpy sees ~noise-level
+    # changes because wildcard skipping is preserved per query).
+    assert by_name["iam"][-1] <= by_name["iam"][0] * 1.25
+    # IAM stays cheaper than the factorized Naru at every batch size.
+    assert all(i <= n for i, n in zip(by_name["iam"], by_name["naru"]))
+
+    estimator, _ = experiments.get_join_estimator("iam")
+    _, test = experiments.get_join_workloads()
+    benchmark(estimator.estimate_cardinalities, test.queries[:32], 32)

@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (smoke | full); fitted models
+and workloads are cached inside :mod:`repro.bench.experiments`, so
+benchmark modules can run in any order without refitting.
+"""
+
+import pytest
+
+from repro.bench import bench_scale
+
+
+@pytest.fixture(scope="session", autouse=True)
+def announce_scale():
+    scale = bench_scale()
+    print(
+        f"\n[repro-bench] scale={scale.name} rows={scale.rows} "
+        f"epochs={scale.ar_epochs} queries={scale.n_test_queries}"
+    )
+    yield

@@ -1,0 +1,49 @@
+"""Quickstart: fit IAM on a spatial dataset and estimate range queries.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import IAM, IAMConfig, Query
+from repro.datasets import make_twi
+from repro.metrics import q_error
+from repro.query.executor import true_selectivity
+
+
+def main() -> None:
+    # 1. A TWI-like spatial table: two large-domain continuous columns.
+    table = make_twi(n_rows=20_000, seed=0)
+    print(f"dataset: {table.name}, rows={table.num_rows}")
+    for column in table:
+        print(f"  {column.name}: domain size {column.domain_size}")
+
+    # 2. Fit IAM. GMMs shrink each coordinate's domain to 20 components;
+    #    the AR model learns the joint distribution of the reduced tuples.
+    config = IAMConfig(n_components=20, epochs=6, n_progressive_samples=512, seed=0)
+    model = IAM(config).fit(table)
+    print(f"\nreduced domains: {model.reduced_domain_sizes()}")
+    print(f"model size: {model.size_bytes() / 1024:.0f} KiB")
+
+    # 3. Estimate a few range queries and compare with the exact answer.
+    queries = [
+        Query.from_pairs([("latitude", "<=", 35.0)]),
+        Query.from_pairs([("latitude", ">=", 40.0), ("longitude", "<=", -100.0)]),
+        Query.from_pairs(
+            [
+                ("latitude", ">=", 30.0),
+                ("latitude", "<=", 34.0),
+                ("longitude", ">=", -90.0),
+                ("longitude", "<=", -80.0),
+            ]
+        ),
+    ]
+    print("\nquery                                      estimate   truth     q-error")
+    for query in queries:
+        estimate = model.estimate(query)
+        truth = true_selectivity(table, query)
+        print(f"{str(query)[:42]:42s} {estimate:8.4f} {truth:8.4f}  {q_error(truth, estimate):8.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — a full reproduction of IAM (EDBT 2022).
+
+IAM integrates per-attribute Gaussian mixture models with a deep
+autoregressive model (ResMADE) for unsupervised selectivity estimation on
+relations with large-domain continuous attributes.
+
+The package is layered bottom-up:
+
+- :mod:`repro.autodiff` — numpy reverse-mode automatic differentiation.
+- :mod:`repro.nn` — neural-network modules and optimizers on top of it.
+- :mod:`repro.mixtures` — EM / SGD / variational-Bayes Gaussian mixtures.
+- :mod:`repro.reducers` — domain-reduction strategies (GMM, histograms,
+  splines, uniform mixtures, column factorization).
+- :mod:`repro.data` / :mod:`repro.datasets` — tables, encodings, synthetic
+  datasets standing in for WISDM / TWI / HIGGS / IMDB.
+- :mod:`repro.query` — predicates, workload generation, exact execution.
+- :mod:`repro.ar` — MADE / ResMADE and vanilla progressive sampling.
+- :mod:`repro.core` — the IAM model, joint training and unbiased
+  progressive sampling (the paper's contribution).
+- :mod:`repro.estimators` — all baselines from the paper's evaluation.
+- :mod:`repro.joins` — full-outer-join sampling for multi-table schemas.
+- :mod:`repro.optimizer` — a Selinger-style optimizer simulator for the
+  end-to-end experiment.
+- :mod:`repro.bench` — drivers that regenerate every table and figure.
+
+Top-level convenience re-exports (``Table``, ``Query``, ``IAM``, ...) are
+resolved lazily (PEP 562) so that ``import repro`` stays cheap.
+"""
+
+from repro.version import __version__
+
+_LAZY_EXPORTS = {
+    "Table": ("repro.data.table", "Table"),
+    "Column": ("repro.data.table", "Column"),
+    "Predicate": ("repro.query.predicate", "Predicate"),
+    "Op": ("repro.query.predicate", "Op"),
+    "Query": ("repro.query.query", "Query"),
+    "IAM": ("repro.core.model", "IAM"),
+    "IAMConfig": ("repro.core.config", "IAMConfig"),
+}
+
+__all__ = ["__version__", *_LAZY_EXPORTS]
+
+
+def __getattr__(name: str):
+    """Resolve the documented top-level exports on first access."""
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(__all__)

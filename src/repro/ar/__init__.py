@@ -1,0 +1,26 @@
+"""Deep autoregressive substrate: MADE / ResMADE and progressive sampling.
+
+The paper follows Naru/Neurocard in using ResMADE as the density
+estimator (Section 3). This package provides the model (with per-column
+embeddings, per-column output heads, and wildcard skipping), its trainer,
+and the progressive-sampling machinery that both the Naru/Neurocard
+baseline and IAM's unbiased variant are built on.
+"""
+
+from repro.ar.order import heuristic_order, identity_order, random_order, validate_order
+from repro.ar.made import MADE, build_made
+from repro.ar.train import ARTrainer, TrainConfig
+from repro.ar.progressive import ProgressiveSampler, SlotConstraint
+
+__all__ = [
+    "identity_order",
+    "random_order",
+    "heuristic_order",
+    "validate_order",
+    "MADE",
+    "build_made",
+    "ARTrainer",
+    "TrainConfig",
+    "ProgressiveSampler",
+    "SlotConstraint",
+]

@@ -1,0 +1,60 @@
+"""A small reverse-mode automatic differentiation engine on numpy.
+
+This substrate replaces PyTorch for this reproduction. It provides a
+:class:`Tensor` wrapping a ``numpy.ndarray`` that records the operations
+applied to it and can backpropagate gradients through the resulting graph.
+
+Design notes
+------------
+- Gradients flow only into tensors created with ``requires_grad=True`` (or
+  derived from one). Graph recording can be suspended wholesale with the
+  :func:`no_grad` context manager, which makes inference paths allocation-
+  light.
+- Broadcasting follows numpy semantics; gradients of broadcast operands are
+  reduced back to the operand's shape (see ``_unbroadcast``).
+- Numerically delicate reductions (``logsumexp``, ``log_softmax``) are
+  primitives rather than compositions so that both the forward value and
+  the gradient are stable.
+
+The engine is intentionally small but is verified by property-based tests
+against central finite differences (:mod:`repro.autodiff.grad_check`).
+"""
+
+from repro.autodiff.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autodiff import ops
+from repro.autodiff.ops import (
+    concat,
+    embedding,
+    gather,
+    log_softmax,
+    logsumexp,
+    maximum,
+    relu,
+    sigmoid,
+    softmax,
+    stack,
+    tanh,
+    where,
+)
+from repro.autodiff.grad_check import gradient_check, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "concat",
+    "stack",
+    "gather",
+    "embedding",
+    "logsumexp",
+    "log_softmax",
+    "softmax",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "maximum",
+    "where",
+    "gradient_check",
+    "numerical_gradient",
+]

@@ -1,0 +1,68 @@
+"""Finite-difference gradient verification utilities.
+
+Used heavily by the test suite: any differentiable scalar function built
+from autodiff ops can be checked against central differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    index: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` w.r.t. ``inputs[index]``.
+
+    ``fn`` receives plain numpy arrays wrapped as Tensors and must return a
+    scalar Tensor.
+    """
+    base = [np.array(x, dtype=np.float64) for x in inputs]
+    target = base[index]
+    grad = np.zeros_like(target)
+    it = np.nditer(target, flags=["multi_index"])
+    while not it.finished:
+        ix = it.multi_index
+        saved = target[ix]
+        target[ix] = saved + eps
+        plus = fn(*[Tensor(b) for b in base]).item()
+        target[ix] = saved - eps
+        minus = fn(*[Tensor(b) for b in base]).item()
+        target[ix] = saved
+        grad[ix] = (plus - minus) / (2.0 * eps)
+        it.iternext()
+    return grad
+
+
+def gradient_check(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+    eps: float = 1e-6,
+) -> bool:
+    """Compare autodiff gradients of scalar ``fn`` against finite differences.
+
+    Returns True when every input gradient matches within tolerance;
+    raises AssertionError with a diagnostic otherwise.
+    """
+    tensors = [Tensor(np.array(x, dtype=np.float64), requires_grad=True) for x in inputs]
+    out = fn(*tensors)
+    out.backward()
+    for i, tensor in enumerate(tensors):
+        expected = numerical_gradient(fn, inputs, i, eps=eps)
+        actual = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        if not np.allclose(actual, expected, rtol=rtol, atol=atol):
+            worst = np.abs(actual - expected).max()
+            raise AssertionError(
+                f"gradient mismatch for input {i}: max abs diff {worst:.3e}\n"
+                f"autodiff:\n{actual}\nnumeric:\n{expected}"
+            )
+    return True

@@ -1,0 +1,213 @@
+"""Free-function autodiff operations that are not Tensor methods.
+
+These cover the structured operations needed by the neural substrate:
+activations, stable log-space reductions, indexing (gather / embedding),
+and concatenation. Each follows the same pattern as the methods on
+:class:`~repro.autodiff.tensor.Tensor`: compute forward with numpy, record
+a closure that accumulates parent gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.errors import ShapeError
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit, ``max(x, 0)``."""
+    x = Tensor.ensure(x)
+    out_data = np.maximum(x.data, 0.0)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * (x.data > 0.0))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid computed stably for large |x|."""
+    x = Tensor.ensure(x)
+    out_data = np.where(
+        x.data >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(x.data, -500, 500))),
+        np.exp(np.clip(x.data, -500, 500)) / (1.0 + np.exp(np.clip(x.data, -500, 500))),
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * out_data * (1.0 - out_data))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    x = Tensor.ensure(x)
+    out_data = np.tanh(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * (1.0 - out_data**2))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise maximum; ties send the gradient to the first operand."""
+    a, b = Tensor.ensure(a), Tensor.ensure(b)
+    out_data = np.maximum(a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        from repro.autodiff.tensor import _unbroadcast
+
+        take_a = a.data >= b.data
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * take_a, a.data.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * ~take_a, b.data.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Select from ``a`` where ``condition`` else ``b`` (condition is data)."""
+    a, b = Tensor.ensure(a), Tensor.ensure(b)
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        from repro.autodiff.tensor import _unbroadcast
+
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * cond, a.data.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * ~cond, b.data.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable ``log(sum(exp(x)))`` along ``axis``.
+
+    Implemented as a primitive so the gradient (a softmax) is computed from
+    the stabilized forward quantities.
+    """
+    x = Tensor.ensure(x)
+    m = x.data.max(axis=axis, keepdims=True)
+    m = np.where(np.isfinite(m), m, 0.0)  # guard all -inf rows
+    with np.errstate(divide="ignore", invalid="ignore"):
+        shifted = np.exp(x.data - m)
+        total = shifted.sum(axis=axis, keepdims=True)
+        out_keep = np.log(total) + m
+        out_data = out_keep if keepdims else np.squeeze(out_keep, axis=axis)
+        soft = np.where(total > 0, shifted / np.where(total > 0, total, 1.0), 0.0)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad if keepdims else np.expand_dims(grad, axis=axis)
+        x._accumulate(g * soft)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """``x - logsumexp(x, axis)`` as a fused, stable primitive."""
+    x = Tensor.ensure(x)
+    m = x.data.max(axis=axis, keepdims=True)
+    m = np.where(np.isfinite(m), m, 0.0)
+    shifted = x.data - m
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - lse
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis``; gradient uses the standard Jacobian-vector
+    product ``s * (g - sum(g * s))``."""
+    x = Tensor.ensure(x)
+    m = x.data.max(axis=axis, keepdims=True)
+    m = np.where(np.isfinite(m), m, 0.0)
+    e = np.exp(x.data - m)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        inner = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - inner))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def gather(x: Tensor, indices: np.ndarray, axis: int = -1) -> Tensor:
+    """Pick one element per row along ``axis`` (``take_along_axis``).
+
+    ``indices`` has the same shape as ``x`` with ``axis`` collapsed to 1,
+    or a 1-D array of per-row indices for the common 2-D case.
+    """
+    x = Tensor.ensure(x)
+    idx = np.asarray(indices)
+    if idx.ndim == x.data.ndim - 1:
+        idx = np.expand_dims(idx, axis=axis)
+    out_data = np.take_along_axis(x.data, idx, axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(x.data)
+        np.put_along_axis(full, idx, grad, axis=axis)
+        x._accumulate(full)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Look up rows of ``weight`` (vocab × dim) by integer ``indices``.
+
+    The backward pass scatter-adds into the weight gradient, so repeated
+    indices accumulate correctly.
+    """
+    weight = Tensor.ensure(weight)
+    idx = np.asarray(indices)
+    if idx.dtype.kind not in "iu":
+        raise ShapeError("embedding indices must be integers")
+    out_data = weight.data[idx]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(weight.data)
+        np.add.at(full, idx.reshape(-1), grad.reshape(-1, weight.data.shape[1]))
+        weight._accumulate(full)
+
+    return Tensor._make(out_data, (weight,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [Tensor.ensure(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(index)])
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = [Tensor.ensure(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            if tensor.requires_grad:
+                tensor._accumulate(np.squeeze(piece, axis=axis))
+
+    return Tensor._make(out_data, tuple(tensors), backward)

@@ -1,0 +1,86 @@
+"""Benchmark scale profiles.
+
+The paper trains on millions of rows on a V100; the benchmarks default to
+a laptop-scale ``smoke`` profile so the whole suite finishes in minutes,
+and support a larger ``full`` profile via ``REPRO_BENCH_SCALE=full``.
+Q-error comparisons are scale-free; only absolute times shrink.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    name: str
+    rows: int  # single-table dataset rows
+    n_test_queries: int
+    n_train_queries: int  # for query-driven estimators
+    ar_epochs: int
+    ar_hidden: tuple[int, ...]
+    n_components: int
+    progressive_samples: int
+    gmm_mc_samples: int  # S per component
+    imdb_titles: int
+    join_samples: int  # full-join training sample
+    n_join_queries: int
+
+
+_PROFILES = {
+    # "micro" exists for the test suite: every driver runs in seconds.
+    "micro": BenchScale(
+        name="micro",
+        rows=1200,
+        n_test_queries=12,
+        n_train_queries=40,
+        ar_epochs=2,
+        ar_hidden=(24, 24, 24),
+        n_components=6,
+        progressive_samples=64,
+        gmm_mc_samples=300,
+        imdb_titles=300,
+        join_samples=1500,
+        n_join_queries=10,
+    ),
+    "smoke": BenchScale(
+        name="smoke",
+        rows=10_000,
+        n_test_queries=100,
+        n_train_queries=300,
+        ar_epochs=12,
+        ar_hidden=(64, 64, 64),
+        n_components=30,
+        progressive_samples=256,
+        gmm_mc_samples=2000,
+        imdb_titles=2000,
+        join_samples=8000,
+        n_join_queries=60,
+    ),
+    "full": BenchScale(
+        name="full",
+        rows=40_000,
+        n_test_queries=400,
+        n_train_queries=1500,
+        ar_epochs=20,
+        ar_hidden=(128, 128, 128),
+        n_components=30,
+        progressive_samples=512,
+        gmm_mc_samples=10_000,
+        imdb_titles=5000,
+        join_samples=30_000,
+        n_join_queries=150,
+    ),
+}
+
+
+def bench_scale() -> BenchScale:
+    """The active profile (``REPRO_BENCH_SCALE``, default 'smoke')."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown REPRO_BENCH_SCALE {name!r}; choose from {sorted(_PROFILES)}"
+        ) from None

@@ -1,0 +1,17 @@
+"""IAM — the paper's model: GMMs integrated with a deep AR model.
+
+- :class:`IAMConfig` — every hyper-parameter and ablation switch;
+- :class:`IAM` — fit on a table, estimate conjunctive queries;
+- :mod:`repro.core.training` — the joint end-to-end SGD loop
+  (Equation 6: summed GMM NLL + AR cross-entropy);
+- :mod:`repro.core.inference` — query construction (Section 5.1) and the
+  unbiased progressive sampler (Section 5.2 / Algorithm 1);
+- :mod:`repro.core.persistence` — save/load of the whole model.
+"""
+
+from repro.core.config import IAMConfig
+from repro.core.model import IAM
+from repro.core.persistence import load_iam, save_iam
+from repro.core.aqp import AggregateResult, AQPEngine
+
+__all__ = ["IAM", "IAMConfig", "save_iam", "load_iam", "AQPEngine", "AggregateResult"]

@@ -1,0 +1,336 @@
+"""The IAM model (paper Section 4): GMMs + a deep AR model, end to end.
+
+Usage::
+
+    from repro import IAM, IAMConfig
+    from repro.datasets import make_twi
+
+    table = make_twi(50_000)
+    model = IAM(IAMConfig(epochs=8)).fit(table)
+    sel = model.estimate(query)          # one query
+    sels = model.estimate_many(queries)  # batch inference
+
+Column handling (paper Section 4.2, "When to Use GMMs"):
+
+- a continuous column whose domain size exceeds
+  ``config.gmm_domain_threshold`` is reduced by a GMM (or a Section-6.6
+  alternative reducer when configured);
+- every other column keeps its exact, order-preserving ordinal encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.ar.made import MADE, build_made
+from repro.ar.order import heuristic_order, identity_order, random_order
+from repro.ar.progressive import ProgressiveSampler
+from repro.core.config import IAMConfig
+from repro.core.inference import IAMInference, build_constraints
+from repro.core.training import JointTrainer
+from repro.data.table import Table
+from repro.errors import NotFittedError
+from repro.metrics import clamp_selectivity
+from repro.query.query import Query
+from repro.reducers import (
+    DomainReducer,
+    EquiDepthReducer,
+    GMMReducer,
+    IdentityReducer,
+    SplineReducer,
+    UniformMixtureReducer,
+)
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class IAM:
+    """Integrated GMM + autoregressive selectivity estimator."""
+
+    def __init__(self, config: IAMConfig | None = None):
+        self.config = config or IAMConfig()
+        self._table: Table | None = None
+        self.reducers: list[DomainReducer] = []
+        self.model: MADE | None = None
+        self._inference: IAMInference | None = None
+        self.epoch_losses: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Column planning
+    # ------------------------------------------------------------------
+    def _wants_reduction(self, column) -> bool:
+        return column.is_continuous() and column.domain_size > self.config.gmm_domain_threshold
+
+    def _make_lossy_reducer(self, seed) -> DomainReducer:
+        cfg = self.config
+        k = cfg.n_components if cfg.n_components is not None else 30
+        if cfg.reducer_kind == "gmm":
+            return GMMReducer(
+                n_components=cfg.n_components,
+                interval_kind=cfg.interval_kind,
+                samples_per_component=cfg.samples_per_component,
+                seed=seed,
+            )
+        if cfg.reducer_kind == "loggmm":
+            from repro.reducers.loggmm import LogGMMReducer
+
+            # Log-space mixtures are fitted statically (before the AR
+            # loop): the log transform decouples them from the joint
+            # batch loop, like the Section 6.6 alternatives.
+            return LogGMMReducer(
+                n_components=cfg.n_components,
+                interval_kind=cfg.interval_kind,
+                samples_per_component=cfg.samples_per_component,
+                seed=seed,
+            )
+        if cfg.reducer_kind == "hist":
+            return EquiDepthReducer(n_bins=k)
+        if cfg.reducer_kind == "spline":
+            return SplineReducer(n_knots=k)
+        return UniformMixtureReducer(n_components=k, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        table: Table,
+        on_epoch_end: Callable[[int, "IAM"], None] | None = None,
+    ) -> "IAM":
+        """Train the full model on a relation.
+
+        ``on_epoch_end(epoch, model)`` is invoked with a *usable* model
+        after each epoch (inference state refreshed), enabling the
+        error-vs-epoch experiment (Figure 6).
+        """
+        cfg = self.config
+        self._table = table
+        rng_streams = spawn_rngs(cfg.seed, table.num_columns + 1)
+
+        self.reducers = []
+        gmm_modules: dict[int, object] = {}
+        raw_columns: dict[int, np.ndarray] = {}
+        static_tokens = np.zeros((table.num_rows, table.num_columns), dtype=np.int64)
+
+        for k, column in enumerate(table.columns):
+            if self._wants_reduction(column):
+                reducer = self._make_lossy_reducer(rng_streams[k])
+                if isinstance(reducer, GMMReducer):
+                    values = column.values.astype(np.float64)
+                    module = reducer.initialise(values)
+                    gmm_modules[k] = module
+                    raw_columns[k] = values
+                    # Initial assignments; re-derived per batch in training.
+                    static_tokens[:, k] = module.assign_numpy(values)
+                else:
+                    static_tokens[:, k] = reducer.fit_transform(
+                        column.values.astype(np.float64)
+                    )
+            else:
+                reducer = IdentityReducer()
+                static_tokens[:, k] = reducer.fit_transform(column.values)
+            self.reducers.append(reducer)
+
+        vocab_sizes = self._planned_vocab_sizes()
+        order = self._build_order(vocab_sizes)
+        self.model = build_made(
+            vocab_sizes,
+            arch=cfg.arch,
+            hidden_sizes=cfg.hidden_sizes,
+            embed_dim=cfg.embed_dim,
+            order=order,
+            seed=rng_streams[-1],
+        )
+
+        trainer = JointTrainer(self.model, gmm_modules, raw_columns, static_tokens, cfg)
+
+        callback = None
+        if on_epoch_end is not None:
+
+            def callback(epoch: int, _loss: float) -> None:
+                self._refresh_inference()
+                on_epoch_end(epoch, self)
+
+        self.epoch_losses = trainer.train(on_epoch_end=callback)
+        self._refresh_inference()
+        return self
+
+    def _planned_vocab_sizes(self) -> list[int]:
+        sizes = []
+        for reducer in self.reducers:
+            if isinstance(reducer, GMMReducer) and reducer.module is not None:
+                sizes.append(reducer.module.n_components)
+            else:
+                sizes.append(reducer.n_tokens)
+        return sizes
+
+    def _build_order(self, vocab_sizes: list[int]) -> np.ndarray:
+        if self.config.order == "natural":
+            return identity_order(len(vocab_sizes))
+        if self.config.order == "random":
+            return random_order(len(vocab_sizes), seed=self.config.seed)
+        return heuristic_order(vocab_sizes)
+
+    def _refresh_inference(self) -> None:
+        """(Re)build frozen mixtures, interval estimators, and the sampler."""
+        assert self.model is not None and self._table is not None
+        for reducer in self.reducers:
+            if isinstance(reducer, GMMReducer):
+                reducer.finalise()
+        sampler = ProgressiveSampler(
+            self.model,
+            n_samples=self.config.n_progressive_samples,
+            seed=ensure_rng(self.config.seed),
+            stratify_first=self.config.stratified_sampling,
+        )
+        self._inference = IAMInference(
+            self._table, self.reducers, sampler, bias_correction=self.config.bias_correction
+        )
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> Table:
+        if self._table is None:
+            raise NotFittedError("IAM used before fit()")
+        return self._table
+
+    def _require_inference(self) -> IAMInference:
+        if self._inference is None:
+            raise NotFittedError("IAM used before fit()")
+        return self._inference
+
+    def estimate(self, query: Query) -> float:
+        """Estimated selectivity of one conjunctive query."""
+        raw = self._require_inference().estimate(query)
+        return clamp_selectivity(raw, self.table.num_rows)
+
+    def estimate_many(self, queries: Sequence[Query], batch_size: int = 16) -> np.ndarray:
+        """Batch inference (Section 5.3): queries share forward passes."""
+        inference = self._require_inference()
+        out = np.empty(len(queries))
+        for start in range(0, len(queries), batch_size):
+            chunk = list(queries[start : start + batch_size])
+            out[start : start + len(chunk)] = inference.estimate_batch(chunk)
+        n = self.table.num_rows
+        return np.clip(out, 1.0 / n, 1.0)
+
+    def cardinality(self, query: Query) -> float:
+        """Estimated result rows."""
+        return self.estimate(query) * self.table.num_rows
+
+    def estimate_with_error(self, query: Query) -> tuple[float, float]:
+        """(selectivity, sampling standard error) for one query.
+
+        The error reflects progressive-sampling variance only (not model
+        bias); useful for deciding whether more samples would help.
+        """
+        inference = self._require_inference()
+        constraints = build_constraints(
+            self.table, self.reducers, query, self.config.bias_correction
+        )
+        estimate, stderr = inference.sampler.estimate_with_error(constraints)
+        return clamp_selectivity(estimate, self.table.num_rows), stderr
+
+    def estimate_adaptive(
+        self,
+        query: Query,
+        target_relative_error: float = 0.1,
+        max_samples: int = 8192,
+    ) -> tuple[float, float, int]:
+        """Estimate with an adaptive sampling budget.
+
+        Doubles the progressive-sampling budget until the sampling
+        standard error drops below ``target_relative_error * estimate``
+        (or ``max_samples`` is reached), pooling all drawn samples.
+        Returns ``(selectivity, stderr, samples_used)``. Useful for tail
+        queries where the configured fixed budget is too noisy.
+        """
+        inference = self._require_inference()
+        constraints = build_constraints(
+            self.table, self.reducers, query, self.config.bias_correction
+        )
+        pooled: list[np.ndarray] = []
+        budget = self.config.n_progressive_samples
+        total = 0
+        seed_stream = ensure_rng(self.config.seed)
+        while True:
+            sampler = ProgressiveSampler(
+                self.model,
+                n_samples=budget,
+                seed=seed_stream,
+                stratify_first=self.config.stratified_sampling,
+            )
+            pooled.append(sampler.sample_weights([constraints])[0])
+            total += budget
+            weights = np.concatenate(pooled)
+            estimate = float(np.clip(weights.mean(), 0.0, None))
+            stderr = float(weights.std(ddof=1) / np.sqrt(len(weights)))
+            if total >= max_samples:
+                break
+            if estimate > 0 and stderr <= target_relative_error * estimate:
+                break
+            budget = min(total, max_samples - total)  # double the pool
+        return clamp_selectivity(estimate, self.table.num_rows), stderr, total
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """AR parameters + reducer parameters (float32 accounting).
+
+        Monte-Carlo interval samples are *derived* state (regenerable
+        from the GMM parameters) and therefore not counted, matching the
+        paper's model-size tables where IAM is smaller than Neurocard.
+        """
+        if self.model is None:
+            raise NotFittedError("IAM used before fit()")
+        total = self.model.size_bytes()
+        for reducer in self.reducers:
+            if isinstance(reducer, GMMReducer):
+                total += reducer.mixture.size_bytes() if reducer.mixture else 0
+            elif not isinstance(reducer, IdentityReducer):
+                total += reducer.size_bytes()
+        return total
+
+    def reduced_domain_sizes(self) -> list[int]:
+        """Per-column token-domain sizes after reduction."""
+        if self.model is None:
+            raise NotFittedError("IAM used before fit()")
+        return list(self.model.vocab_sizes)
+
+    def constraints_for(self, query: Query):
+        """Expose the Section 5.1 constructed query (for tests/debugging)."""
+        return build_constraints(
+            self.table, self.reducers, query, self.config.bias_correction
+        )
+
+    def explain(self, query: Query) -> list[dict]:
+        """Human-readable per-column account of how a query is handled.
+
+        One dict per column: reducer type, token-domain size, whether the
+        column is queried, and — for queried columns — the summed range
+        mass (the fraction of the token domain the query can reach,
+        weighted by the bias correction). Intended for debugging why an
+        estimate looks off.
+        """
+        constraints = self.constraints_for(query)
+        report = []
+        for column, reducer, constraint in zip(
+            self.table.columns, self.reducers, constraints
+        ):
+            entry = {
+                "column": column.name,
+                "reducer": type(reducer).__name__,
+                "tokens": reducer.n_tokens,
+                "exact": reducer.is_exact,
+                "queried": constraint is not None,
+            }
+            if constraint is not None and constraint.mass is not None:
+                mass = np.asarray(constraint.mass)
+                entry["mass_total"] = float(mass.sum())
+                entry["tokens_touched"] = int((mass > 0).sum())
+            report.append(entry)
+        return report

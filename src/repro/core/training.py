@@ -1,0 +1,158 @@
+"""Joint end-to-end training of GMMs and the AR model (Section 4.3).
+
+Per mini-batch of raw tuples:
+
+1. every GMM-reduced column's raw values go through that column's
+   :class:`~repro.mixtures.sgd_gmm.SGDGaussianMixture` twice —
+   (a) as NLL loss terms (Equation 4), and
+   (b) through the non-differentiable argmax assignment (Equation 5)
+   to produce the reduced tokens;
+2. the reduced tuple (GMM tokens + exact tokens) feeds the AR model,
+   whose cross-entropy (Equation 3) is added;
+3. one backward pass over the summed loss (Equation 6) updates all
+   parameters with Adam. Assignments drift as the GMMs train — that is
+   the intended end-to-end behaviour, and why the paper prefers argmax
+   (stable inputs, fast convergence) over sampled assignment.
+
+``joint=False`` reproduces the "Separate Training" strawman: the GMMs are
+fully trained first, frozen, and the AR model then trains on static
+tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.ar.made import MADE
+from repro.ar.train import draw_wildcard_mask, initialize_output_bias
+from repro.core.config import IAMConfig
+from repro.mixtures.sgd_gmm import SGDGaussianMixture
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.utils.rng import ensure_rng
+
+
+class JointTrainer:
+    """Runs the Equation-6 loss over shared mini-batches.
+
+    Parameters
+    ----------
+    model:
+        The AR model over the reduced token domains.
+    gmm_modules:
+        ``{column_index: SGDGaussianMixture}`` for GMM-reduced columns.
+    raw_columns:
+        ``{column_index: raw values (N,)}`` for the GMM columns.
+    static_tokens:
+        (N, n_columns) token matrix; GMM columns are recomputed per batch,
+        other columns are read from here.
+    """
+
+    def __init__(
+        self,
+        model: MADE,
+        gmm_modules: dict[int, SGDGaussianMixture],
+        raw_columns: dict[int, np.ndarray],
+        static_tokens: np.ndarray,
+        config: IAMConfig,
+    ):
+        self.model = model
+        self.gmm_modules = gmm_modules
+        self.raw_columns = raw_columns
+        self.static_tokens = np.asarray(static_tokens, dtype=np.int64)
+        self.config = config
+        self._rng = ensure_rng(config.seed)
+        self.ar_optimizer = Adam(model.parameters(), lr=config.learning_rate)
+        gmm_params = [p for m in gmm_modules.values() for p in m.parameters()]
+        self.gmm_optimizer = Adam(gmm_params, lr=config.gmm_learning_rate) if gmm_params else None
+        self.epoch_losses: list[float] = []
+
+    # ------------------------------------------------------------------
+    def _assign_tokens(self, rows: np.ndarray) -> np.ndarray:
+        """Reduced-token batch: argmax (or sampled) GMM ids + static ids."""
+        tokens = self.static_tokens[rows].copy()
+        for column, module in self.gmm_modules.items():
+            values = self.raw_columns[column][rows]
+            if self.config.assignment == "sampled":
+                frozen = module.freeze()
+                tokens[:, column] = frozen.assign_sampled(values, rng=self._rng)
+            else:
+                tokens[:, column] = module.assign_numpy(values)
+        return tokens
+
+    def _batch_loss(self, rows: np.ndarray, train_gmms: bool, train_ar: bool):
+        loss = None
+        if train_gmms:
+            for column, module in self.gmm_modules.items():
+                term = module.nll(self.raw_columns[column][rows])
+                loss = term if loss is None else loss + term
+        if train_ar:
+            tokens = self._assign_tokens(rows)
+            mask = draw_wildcard_mask(
+                self._rng, len(rows), self.model.n_columns, self.config.wildcard_probability
+            )
+            ar_loss = -self.model.log_likelihood(tokens, wildcard_mask=mask).mean()
+            loss = ar_loss if loss is None else loss + ar_loss
+        return loss
+
+    def _run_epochs(
+        self,
+        epochs: int,
+        train_gmms: bool,
+        train_ar: bool,
+        on_epoch_end: Callable[[int, float], None] | None,
+        epoch_offset: int = 0,
+    ) -> None:
+        n = len(self.static_tokens)
+        for epoch in range(epochs):
+            order = self._rng.permutation(n)
+            total, batches = 0.0, 0
+            for start in range(0, n, self.config.batch_size):
+                rows = order[start : start + self.config.batch_size]
+                loss = self._batch_loss(rows, train_gmms, train_ar)
+                if loss is None:
+                    continue
+                if train_ar:
+                    self.ar_optimizer.zero_grad()
+                if train_gmms and self.gmm_optimizer is not None:
+                    self.gmm_optimizer.zero_grad()
+                loss.backward()
+                if train_ar:
+                    clip_grad_norm(self.ar_optimizer.parameters, self.config.grad_clip)
+                    self.ar_optimizer.step()
+                if train_gmms and self.gmm_optimizer is not None:
+                    clip_grad_norm(self.gmm_optimizer.parameters, self.config.grad_clip)
+                    self.gmm_optimizer.step()
+                total += loss.item()
+                batches += 1
+            epoch_loss = total / max(batches, 1)
+            self.epoch_losses.append(epoch_loss)
+            if on_epoch_end is not None:
+                on_epoch_end(epoch_offset + epoch, epoch_loss)
+
+    # ------------------------------------------------------------------
+    def train(self, on_epoch_end: Callable[[int, float], None] | None = None) -> list[float]:
+        """Run the configured training regime; returns per-epoch losses."""
+        # Unigram bias init from the initial assignments (see
+        # repro.ar.train.initialize_output_bias); assignments drift a
+        # little during joint training but the marginals stay close.
+        initialize_output_bias(self.model, self._assign_tokens(np.arange(len(self.static_tokens))))
+        if self.config.joint_training or not self.gmm_modules:
+            # Joint epochs train everything; the final epoch freezes the
+            # GMMs so the AR model converges on *stable* assignments —
+            # during joint training the argmax assignments drift with the
+            # GMM parameters, leaving the AR marginals slightly stale.
+            joint_epochs = max(self.config.epochs - 1, 1)
+            self._run_epochs(joint_epochs, True, True, on_epoch_end)
+            if self.config.epochs > 1 and self.gmm_modules:
+                self._run_epochs(
+                    1, False, True, on_epoch_end, epoch_offset=joint_epochs
+                )
+        else:
+            # Separate-training ablation: GMMs alone, then the AR model.
+            self._run_epochs(self.config.epochs, True, False, None)
+            self._run_epochs(
+                self.config.epochs, False, True, on_epoch_end, epoch_offset=self.config.epochs
+            )
+        return self.epoch_losses

@@ -1,0 +1,19 @@
+"""Tables, columns, encodings, and dataset statistics."""
+
+from repro.data.table import Column, ColumnKind, Table
+from repro.data.encoding import OrdinalCodec
+from repro.data.discretize import equal_width_bins, equal_depth_edges, discretize
+from repro.data.stats import fisher_skewness, ncie, table_skewness
+
+__all__ = [
+    "Column",
+    "ColumnKind",
+    "Table",
+    "OrdinalCodec",
+    "equal_width_bins",
+    "equal_depth_edges",
+    "discretize",
+    "ncie",
+    "fisher_skewness",
+    "table_skewness",
+]

@@ -1,0 +1,74 @@
+"""Plain-text (CSV) import/export for tables.
+
+Loads numeric CSVs into :class:`~repro.data.table.Table`, inferring
+column kinds from dtype (overridable), so users can run IAM on their own
+data without writing adapters.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Mapping
+
+import numpy as np
+
+from repro.data.table import Column, ColumnKind, Table
+from repro.errors import SchemaError
+
+
+def read_csv(
+    path: str | os.PathLike,
+    name: str | None = None,
+    kinds: Mapping[str, ColumnKind | str] | None = None,
+    delimiter: str = ",",
+) -> Table:
+    """Load a numeric CSV (header required) into a Table.
+
+    Columns parse as float64; columns whose values are all integral
+    default to categorical, others to continuous. ``kinds`` overrides.
+    """
+    path = os.fspath(path)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path}: empty file") from None
+        rows = list(reader)
+    if not rows:
+        raise SchemaError(f"{path}: no data rows")
+
+    matrix = np.empty((len(rows), len(header)), dtype=np.float64)
+    for i, row in enumerate(rows):
+        if len(row) != len(header):
+            raise SchemaError(f"{path}: row {i + 2} has {len(row)} fields, expected {len(header)}")
+        try:
+            matrix[i] = [float(v) for v in row]
+        except ValueError as exc:
+            raise SchemaError(f"{path}: row {i + 2}: {exc}") from None
+
+    kinds = dict(kinds or {})
+    columns = []
+    for j, column_name in enumerate(header):
+        values = matrix[:, j]
+        if column_name in kinds:
+            kind = ColumnKind(kinds[column_name]) if isinstance(kinds[column_name], str) else kinds[column_name]
+        else:
+            integral = np.all(values == np.round(values))
+            kind = ColumnKind.CATEGORICAL if integral else ColumnKind.CONTINUOUS
+        if kind is ColumnKind.CATEGORICAL and np.all(values == np.round(values)):
+            columns.append(Column(column_name, values.astype(np.int64), kind))
+        else:
+            columns.append(Column(column_name, values, kind))
+    table_name = name or os.path.splitext(os.path.basename(path))[0]
+    return Table(table_name, columns)
+
+
+def write_csv(table: Table, path: str | os.PathLike, delimiter: str = ",") -> None:
+    """Write a table to CSV with a header row."""
+    with open(os.fspath(path), "w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.column_names)
+        matrix = np.column_stack([c.values for c in table.columns])
+        writer.writerows(matrix.tolist())

@@ -1,0 +1,47 @@
+"""Discretisation helpers shared by BayesNet / MHIST / histogram reducers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def equal_width_bins(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Edges of ``n_bins`` equal-width bins covering the value range.
+
+    Returns ``n_bins + 1`` edges; degenerate (constant) columns get a
+    symmetric epsilon-wide range so every value falls in a bin.
+    """
+    if n_bins < 1:
+        raise ConfigError("n_bins must be >= 1")
+    values = np.asarray(values, dtype=np.float64)
+    lo, hi = float(values.min()), float(values.max())
+    if lo == hi:
+        lo, hi = lo - 0.5, hi + 0.5
+    return np.linspace(lo, hi, n_bins + 1)
+
+
+def equal_depth_edges(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Edges of (up to) ``n_bins`` equal-depth (equi-height) bins.
+
+    Built from quantiles; duplicate quantiles (heavy ties) are collapsed,
+    so fewer than ``n_bins`` bins can result — matching how equi-depth
+    histograms behave on skewed data.
+    """
+    if n_bins < 1:
+        raise ConfigError("n_bins must be >= 1")
+    values = np.asarray(values, dtype=np.float64)
+    qs = np.linspace(0.0, 1.0, n_bins + 1)
+    edges = np.quantile(values, qs)
+    edges = np.unique(edges)
+    if len(edges) < 2:
+        edges = np.array([edges[0] - 0.5, edges[0] + 0.5])
+    return edges
+
+
+def discretize(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Map values to bin ids given edges (last bin right-inclusive)."""
+    values = np.asarray(values, dtype=np.float64)
+    ids = np.searchsorted(edges, values, side="right") - 1
+    return np.clip(ids, 0, len(edges) - 2).astype(np.int64)

@@ -1,0 +1,57 @@
+"""Order-preserving ordinal encoding (the paper's Section 3 strategy).
+
+``OrdinalCodec`` maps a column's sorted distinct values onto
+``[0, domain_size)``. Because the mapping is monotone, a raw range
+predicate translates into a contiguous token range, which is what the
+progressive sampler needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+
+
+class OrdinalCodec:
+    """Bidirectional value <-> token mapping that preserves order."""
+
+    def __init__(self, distinct_values: np.ndarray):
+        self.distinct_values = np.unique(np.asarray(distinct_values))
+        if len(self.distinct_values) == 0:
+            raise QueryError("cannot build a codec over an empty domain")
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.distinct_values)
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Map raw values to token ids. Values must exist in the domain."""
+        values = np.asarray(values)
+        tokens = np.searchsorted(self.distinct_values, values)
+        tokens = np.clip(tokens, 0, self.vocab_size - 1)
+        if not np.array_equal(self.distinct_values[tokens], values):
+            raise QueryError("encode() received values outside the fitted domain")
+        return tokens.astype(np.int64)
+
+    def decode(self, tokens: np.ndarray) -> np.ndarray:
+        """Map token ids back to raw values."""
+        return self.distinct_values[np.asarray(tokens, dtype=np.int64)]
+
+    def range_to_tokens(self, low: float, high: float) -> tuple[int, int]:
+        """Translate an inclusive raw range into an inclusive token range.
+
+        Returns ``(lo_token, hi_token)``; empty ranges yield
+        ``lo_token > hi_token``.
+        """
+        lo = int(np.searchsorted(self.distinct_values, low, side="left"))
+        hi = int(np.searchsorted(self.distinct_values, high, side="right")) - 1
+        return lo, hi
+
+    def range_mask(self, low: float, high: float) -> np.ndarray:
+        """(vocab,) 0/1 indicator of tokens whose value lies in [low, high]."""
+        lo, hi = self.range_to_tokens(low, high)
+        mask = np.zeros(self.vocab_size)
+        if lo <= hi:
+            mask[lo : hi + 1] = 1.0
+        return mask

@@ -1,0 +1,87 @@
+"""Dataset statistics the paper reports: NCIE correlation and skewness.
+
+- NCIE (nonlinear correlation information entropy, Wang et al. 2005):
+  values in [0, 1]; the paper's convention is that *smaller means more
+  correlated* and we follow it (see :func:`ncie`).
+- Skewness: Fisher's definition (third standardised moment); the paper
+  reports the maximum |skewness| across continuous columns per dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+
+
+def _rank_grid_mutual_information(x: np.ndarray, y: np.ndarray, b: int) -> float:
+    """Mutual information of rank-binned x, y on a b×b grid (nats, base-b
+    normalised). This is the nonlinear correlation coefficient NCC of the
+    NCIE paper."""
+    n = len(x)
+    rx = np.argsort(np.argsort(x, kind="stable"), kind="stable")
+    ry = np.argsort(np.argsort(y, kind="stable"), kind="stable")
+    bx = np.minimum(rx * b // n, b - 1)
+    by = np.minimum(ry * b // n, b - 1)
+    joint = np.zeros((b, b))
+    np.add.at(joint, (bx, by), 1.0)
+    joint /= n
+    px = joint.sum(axis=1, keepdims=True)
+    py = joint.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = joint * np.log(joint / (px * py))
+    mi = float(np.nansum(terms))
+    return min(mi / np.log(b), 1.0)  # normalised to [0, 1]
+
+
+def ncie(matrix: np.ndarray, n_bins: int | None = None) -> float:
+    """Nonlinear correlation information entropy of a (rows, cols) matrix.
+
+    Builds the nonlinear correlation matrix R (rank-grid mutual
+    information off-diagonal, 1 on the diagonal), then returns the entropy
+    of its eigenvalue spectrum::
+
+        NCIE = - sum_i (lambda_i / n) * log_n (lambda_i / n)
+
+    Fully independent data gives NCIE -> 1 under this formula; the paper
+    reports *smaller values for stronger correlation*, so we return the
+    entropy itself (WISDM 0.33 < HIGGS 0.67 in the paper matches
+    correlated < independent here).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    n_rows, n_cols = matrix.shape
+    if n_cols < 2:
+        return 1.0
+    b = n_bins if n_bins is not None else 16
+    b = max(2, min(b, n_rows // 20 or 2, 64))
+    r = np.eye(n_cols)
+    for i in range(n_cols):
+        for j in range(i + 1, n_cols):
+            r[i, j] = r[j, i] = _rank_grid_mutual_information(matrix[:, i], matrix[:, j], b)
+    eigenvalues = np.linalg.eigvalsh(r)
+    eigenvalues = np.clip(eigenvalues, 0.0, None)
+    p = eigenvalues / n_cols
+    nz = p[p > 0]
+    return float(-(nz * (np.log(nz) / np.log(n_cols))).sum())
+
+
+def fisher_skewness(values: np.ndarray) -> float:
+    """Fisher's moment coefficient of skewness, g1 = m3 / m2^(3/2)."""
+    values = np.asarray(values, dtype=np.float64)
+    centered = values - values.mean()
+    m2 = float((centered**2).mean())
+    if m2 == 0:
+        return 0.0
+    m3 = float((centered**3).mean())
+    return m3 / m2**1.5
+
+
+def table_skewness(table: Table) -> float:
+    """Max |skewness| over the table's continuous columns (signed)."""
+    best = 0.0
+    for column in table:
+        if column.is_continuous():
+            s = fisher_skewness(column.values)
+            if abs(s) > abs(best):
+                best = s
+    return best

@@ -1,0 +1,164 @@
+"""In-memory columnar relation: :class:`Column` and :class:`Table`.
+
+Values are numpy arrays; categorical columns hold integer codes (the
+mapping to labels, if any, is the caller's concern — selectivity
+estimation only needs the ordered code domain, matching the paper's
+order-preserving integer encoding strategy in Section 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+class ColumnKind(enum.Enum):
+    """Attribute type, steering whether a GMM is used to reduce it."""
+
+    CATEGORICAL = "categorical"
+    CONTINUOUS = "continuous"
+
+
+@dataclass
+class Column:
+    """A named, typed column of values."""
+
+    name: str
+    values: np.ndarray
+    kind: ColumnKind = ColumnKind.CONTINUOUS
+    _distinct: np.ndarray | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values)
+        if self.values.ndim != 1:
+            raise SchemaError(f"column {self.name!r} must be 1-D, got shape {self.values.shape}")
+        if isinstance(self.kind, str):
+            self.kind = ColumnKind(self.kind)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def distinct_values(self) -> np.ndarray:
+        """Sorted distinct values (cached)."""
+        if self._distinct is None:
+            self._distinct = np.unique(self.values)
+        return self._distinct
+
+    @property
+    def domain_size(self) -> int:
+        return len(self.distinct_values)
+
+    @property
+    def min(self) -> float:
+        return float(self.values.min())
+
+    @property
+    def max(self) -> float:
+        return float(self.values.max())
+
+    def is_continuous(self) -> bool:
+        return self.kind is ColumnKind.CONTINUOUS
+
+    def head(self, n: int = 5) -> np.ndarray:
+        return self.values[:n]
+
+
+class Table:
+    """A named collection of equal-length columns."""
+
+    def __init__(self, name: str, columns: Iterable[Column]):
+        self.name = name
+        self.columns: list[Column] = list(columns)
+        if not self.columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        lengths = {len(c) for c in self.columns}
+        if len(lengths) != 1:
+            raise SchemaError(f"table {name!r} columns have differing lengths: {lengths}")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"table {name!r} has duplicate column names: {names}")
+        self._by_name: dict[str, Column] = {c.name: c for c in self.columns}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(
+        cls,
+        name: str,
+        data: Mapping[str, np.ndarray],
+        kinds: Mapping[str, ColumnKind | str] | None = None,
+    ) -> "Table":
+        """Build a table from ``{column_name: values}``.
+
+        ``kinds`` overrides per-column types; unmentioned columns default
+        to continuous for float dtypes and categorical for integer dtypes.
+        """
+        kinds = dict(kinds or {})
+        columns = []
+        for col_name, values in data.items():
+            values = np.asarray(values)
+            if col_name in kinds:
+                kind = ColumnKind(kinds[col_name]) if isinstance(kinds[col_name], str) else kinds[col_name]
+            else:
+                kind = ColumnKind.CONTINUOUS if values.dtype.kind == "f" else ColumnKind.CATEGORICAL
+            columns.append(Column(col_name, values, kind))
+        return cls(name, columns)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0])
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}") from None
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.name!r}, rows={self.num_rows}, cols={self.column_names})"
+
+    # ------------------------------------------------------------------
+    def as_matrix(self, column_names: Iterable[str] | None = None) -> np.ndarray:
+        """(rows, cols) float matrix of the selected columns."""
+        names = list(column_names) if column_names is not None else self.column_names
+        return np.column_stack([self[n].values.astype(np.float64) for n in names])
+
+    def sample_rows(self, n: int, rng=None) -> "Table":
+        """Uniform row sample (without replacement when possible)."""
+        from repro.utils.rng import ensure_rng
+
+        rng = ensure_rng(rng)
+        replace = n > self.num_rows
+        idx = rng.choice(self.num_rows, size=n, replace=replace)
+        return self.take(idx)
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Row subset by integer indices, preserving column kinds."""
+        return Table(
+            self.name,
+            [Column(c.name, c.values[indices], c.kind) for c in self.columns],
+        )
+
+    def joint_domain_size(self) -> float:
+        """Product of per-column domain sizes ("Joint" in Table 1)."""
+        return float(np.prod([float(c.domain_size) for c in self.columns]))

@@ -1,0 +1,32 @@
+"""Synthetic datasets standing in for the paper's evaluation data.
+
+The paper evaluates on WISDM (phone/watch sensors), TWI (geo-tagged
+tweets), HIGGS (particle kinematics), and an IMDB variant with appended
+continuous columns. None of those are redistributable here, so each has a
+generator that reproduces the *statistical regime the paper measures*:
+
+=========  ==========================  ==============  ==================
+dataset    structure                   correlation      skewness
+=========  ==========================  ==============  ==================
+WISDM      2 categorical + 3 cont.     strong (0.33)    moderate (2.3)
+TWI        2 continuous (lat/lon)      strong (0.37)    mild (-1)
+HIGGS      7 continuous                weak (0.67)      extreme (81)
+IMDB       multi-table star schema     strong joins     skewed fanouts
+=========  ==========================  ==============  ==================
+
+(Numbers are the paper's NCIE / Fisher-skewness targets; the generators'
+own statistics are verified by tests to land in the same regime.)
+"""
+
+from repro.datasets.wisdm import make_wisdm
+from repro.datasets.twi import make_twi
+from repro.datasets.higgs import make_higgs
+from repro.datasets.registry import DATASETS, load_dataset
+
+__all__ = [
+    "make_wisdm",
+    "make_twi",
+    "make_higgs",
+    "DATASETS",
+    "load_dataset",
+]

@@ -1,0 +1,156 @@
+"""IMDB-like star schema with appended continuous columns.
+
+The paper concatenates WISDM's x/y/z onto ``movie_info`` and TWI's
+lat/lon onto ``title`` because the real IMDB lacks large-domain
+continuous attributes. This generator builds the equivalent synthetic
+star schema:
+
+- ``title`` (hub): id, kind_id (7), production_year (~80),
+  latitude/longitude (TWI-like city clusters);
+- ``movie_info`` (satellite): movie_id FK with skewed fanout,
+  info_type_id (40), x/y/z (WISDM-like, driven by info_type);
+- ``cast_info`` (satellite): movie_id FK, role_id (11), nr_order (~20).
+
+Fanouts follow a Zipf-like law with some titles matching nothing — so
+the full outer join exercises NULL padding and fanout scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import ColumnKind, Table
+from repro.datasets.synthetic import gaussian_clusters_2d, quantize, zipf_weights
+from repro.joins.schema import Satellite, StarSchema
+from repro.utils.rng import ensure_rng
+
+
+def _skewed_fanouts(n_hub: int, total_rows: int, zero_fraction: float, rng) -> np.ndarray:
+    """Per-hub-row fanout counts: Zipf-ish with a zero-match fraction."""
+    weights = zipf_weights(n_hub, exponent=0.7)
+    rng.shuffle(weights)
+    counts = rng.multinomial(total_rows, weights)
+    zero = rng.random(n_hub) < zero_fraction
+    counts[zero] = 0
+    return counts
+
+
+def _fk_from_counts(counts: np.ndarray) -> np.ndarray:
+    return np.repeat(np.arange(len(counts)), counts)
+
+
+def make_imdb(
+    n_titles: int = 4000,
+    n_movie_info: int = 12_000,
+    n_cast_info: int = 16_000,
+    n_movie_keyword: int = 10_000,
+    seed=0,
+) -> StarSchema:
+    """Generate the IMDB stand-in star schema."""
+    rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------- title
+    kind = rng.choice(7, size=n_titles, p=rng.dirichlet(np.full(7, 2.0)))
+    year = 1940 + rng.choice(80, size=n_titles, p=zipf_weights(80, 0.5)[::-1])
+    n_cities = 25
+    centers = np.column_stack(
+        [rng.uniform(25, 49, n_cities), rng.uniform(-124, -67, n_cities)]
+    )
+    scales = np.column_stack(
+        [rng.uniform(0.1, 0.5, n_cities), rng.uniform(0.1, 0.5, n_cities)]
+    )
+    latlon = gaussian_clusters_2d(
+        n_titles, centers, scales, rng.uniform(-0.6, 0.6, n_cities),
+        zipf_weights(n_cities, 1.0), rng=rng,
+    )
+    title = Table.from_mapping(
+        "title",
+        {
+            "id": np.arange(n_titles, dtype=np.int64),
+            "kind_id": kind.astype(np.int64),
+            "production_year": year.astype(np.int64),
+            "latitude": quantize(latlon[:, 0], 5),
+            "longitude": quantize(latlon[:, 1], 5),
+        },
+        kinds={
+            "id": ColumnKind.CATEGORICAL,
+            "kind_id": ColumnKind.CATEGORICAL,
+            "production_year": ColumnKind.CATEGORICAL,
+            "latitude": ColumnKind.CONTINUOUS,
+            "longitude": ColumnKind.CONTINUOUS,
+        },
+    )
+
+    # -------------------------------------------------------- movie_info
+    mi_counts = _skewed_fanouts(n_titles, n_movie_info, zero_fraction=0.15, rng=rng)
+    mi_fk = _fk_from_counts(mi_counts)
+    n_mi = len(mi_fk)
+    info_type = rng.choice(40, size=n_mi, p=rng.dirichlet(np.full(40, 0.8)))
+    type_mean = rng.normal(0.0, 6.0, size=(40, 3))
+    type_scale = rng.uniform(0.3, 1.5, size=(40, 3))
+    xyz = type_mean[info_type] + type_scale[info_type] * rng.standard_normal((n_mi, 3))
+    movie_info = Table.from_mapping(
+        "movie_info",
+        {
+            "movie_id": mi_fk.astype(np.int64),
+            "info_type_id": info_type.astype(np.int64),
+            "x": quantize(xyz[:, 0], 4),
+            "y": quantize(xyz[:, 1], 4),
+            "z": quantize(xyz[:, 2], 4),
+        },
+        kinds={
+            "movie_id": ColumnKind.CATEGORICAL,
+            "info_type_id": ColumnKind.CATEGORICAL,
+            "x": ColumnKind.CONTINUOUS,
+            "y": ColumnKind.CONTINUOUS,
+            "z": ColumnKind.CONTINUOUS,
+        },
+    )
+
+    # --------------------------------------------------------- cast_info
+    ci_counts = _skewed_fanouts(n_titles, n_cast_info, zero_fraction=0.1, rng=rng)
+    ci_fk = _fk_from_counts(ci_counts)
+    n_ci = len(ci_fk)
+    # role depends (weakly) on the title's kind: join-crossing correlation.
+    role_bias = rng.dirichlet(np.full(11, 1.0), size=7)
+    role = np.array(
+        [rng.choice(11, p=role_bias[kind[t]]) for t in ci_fk], dtype=np.int64
+    )
+    nr_order = rng.choice(20, size=n_ci, p=zipf_weights(20, 1.2))
+    cast_info = Table.from_mapping(
+        "cast_info",
+        {
+            "cast_movie_id": ci_fk.astype(np.int64),
+            "role_id": role,
+            "nr_order": nr_order.astype(np.int64),
+        },
+        kinds={
+            "cast_movie_id": ColumnKind.CATEGORICAL,
+            "role_id": ColumnKind.CATEGORICAL,
+            "nr_order": ColumnKind.CATEGORICAL,
+        },
+    )
+
+    # ------------------------------------------------------ movie_keyword
+    satellites = [
+        Satellite(movie_info, "movie_id"),
+        Satellite(cast_info, "cast_movie_id"),
+    ]
+    if n_movie_keyword > 0:
+        mk_counts = _skewed_fanouts(n_titles, n_movie_keyword, zero_fraction=0.25, rng=rng)
+        mk_fk = _fk_from_counts(mk_counts)
+        keyword = rng.choice(100, size=len(mk_fk), p=zipf_weights(100, 1.1))
+        movie_keyword = Table.from_mapping(
+            "movie_keyword",
+            {
+                "keyword_movie_id": mk_fk.astype(np.int64),
+                "keyword_id": keyword.astype(np.int64),
+            },
+            kinds={
+                "keyword_movie_id": ColumnKind.CATEGORICAL,
+                "keyword_id": ColumnKind.CATEGORICAL,
+            },
+        )
+        satellites.append(Satellite(movie_keyword, "keyword_movie_id"))
+
+    return StarSchema(hub=title, hub_key="id", satellites=satellites)

@@ -1,0 +1,105 @@
+"""A JOB-style chain-join schema: title <- movie_companies -> company.
+
+Exercises depth-2 tree joins (the paper's JOB-light workloads include
+such chains through link tables): ``movie_companies`` references both
+``title`` (its parent in the tree) and ``company`` (its child), so
+estimating a 3-way join needs information to flow across two edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import ColumnKind, Table
+from repro.datasets.synthetic import gaussian_clusters_2d, quantize, zipf_weights
+from repro.joins.tree import TreeEdge, TreeSchema
+from repro.utils.rng import ensure_rng
+
+
+def make_imdb_tree(
+    n_titles: int = 2000,
+    n_movie_companies: int = 6000,
+    n_companies: int = 300,
+    seed=0,
+) -> TreeSchema:
+    """Generate the chain-join stand-in."""
+    rng = ensure_rng(seed)
+
+    # title (root): two continuous columns + categorical year.
+    n_cities = 15
+    centers = np.column_stack(
+        [rng.uniform(25, 49, n_cities), rng.uniform(-124, -67, n_cities)]
+    )
+    scales = np.column_stack(
+        [rng.uniform(0.2, 0.6, n_cities), rng.uniform(0.2, 0.6, n_cities)]
+    )
+    latlon = gaussian_clusters_2d(
+        n_titles, centers, scales, rng.uniform(-0.5, 0.5, n_cities),
+        zipf_weights(n_cities, 1.0), rng=rng,
+    )
+    title = Table.from_mapping(
+        "title",
+        {
+            "id": np.arange(n_titles, dtype=np.int64),
+            "production_year": (1950 + rng.choice(70, size=n_titles)).astype(np.int64),
+            "latitude": quantize(latlon[:, 0], 5),
+            "longitude": quantize(latlon[:, 1], 5),
+        },
+        kinds={
+            "id": ColumnKind.CATEGORICAL,
+            "production_year": ColumnKind.CATEGORICAL,
+            "latitude": ColumnKind.CONTINUOUS,
+            "longitude": ColumnKind.CONTINUOUS,
+        },
+    )
+
+    # movie_companies: skewed fanout to titles, FK to companies.
+    weights = zipf_weights(n_titles, 0.8)
+    rng.shuffle(weights)
+    counts = rng.multinomial(n_movie_companies, weights)
+    counts[rng.random(n_titles) < 0.2] = 0
+    mc_fk = np.repeat(np.arange(n_titles), counts)
+    n_mc = len(mc_fk)
+    company_popularity = zipf_weights(n_companies, 1.1)
+    company_id = rng.choice(n_companies, size=n_mc, p=company_popularity)
+    budget = np.round(np.exp(rng.normal(2.0, 1.0, n_mc)), 3)
+    movie_companies = Table.from_mapping(
+        "movie_companies",
+        {
+            "mc_movie_id": mc_fk.astype(np.int64),
+            "mc_company_id": company_id.astype(np.int64),
+            "note_type": rng.choice(6, size=n_mc).astype(np.int64),
+            "budget": budget,
+        },
+        kinds={
+            "mc_movie_id": ColumnKind.CATEGORICAL,
+            "mc_company_id": ColumnKind.CATEGORICAL,
+            "note_type": ColumnKind.CATEGORICAL,
+            "budget": ColumnKind.CONTINUOUS,
+        },
+    )
+
+    # company: one row per id (a classic dimension at the chain's end).
+    country = rng.choice(25, size=n_companies, p=zipf_weights(25, 1.0))
+    company = Table.from_mapping(
+        "company",
+        {
+            "company_id": np.arange(n_companies, dtype=np.int64),
+            "country_code": country.astype(np.int64),
+            "founded": (1900 + rng.choice(100, size=n_companies)).astype(np.int64),
+        },
+        kinds={
+            "company_id": ColumnKind.CATEGORICAL,
+            "country_code": ColumnKind.CATEGORICAL,
+            "founded": ColumnKind.CATEGORICAL,
+        },
+    )
+
+    return TreeSchema(
+        tables={"title": title, "movie_companies": movie_companies, "company": company},
+        root="title",
+        edges=[
+            TreeEdge("title", "id", "movie_companies", "mc_movie_id"),
+            TreeEdge("movie_companies", "mc_company_id", "company", "company_id"),
+        ],
+    )

@@ -1,0 +1,28 @@
+"""Dataset registry: look up generators by name (used by the bench CLI)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.data.table import Table
+from repro.datasets.higgs import make_higgs
+from repro.datasets.twi import make_twi
+from repro.datasets.wisdm import make_wisdm
+from repro.errors import ConfigError
+
+DATASETS: dict[str, Callable[..., Table]] = {
+    "wisdm": make_wisdm,
+    "twi": make_twi,
+    "higgs": make_higgs,
+}
+
+
+def load_dataset(name: str, n_rows: int = 50_000, seed=0) -> Table:
+    """Instantiate a registered single-table dataset."""
+    try:
+        maker = DATASETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None
+    return maker(n_rows=n_rows, seed=seed)

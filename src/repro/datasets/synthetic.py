@@ -1,0 +1,48 @@
+"""Shared building blocks for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def quantize(values: np.ndarray, decimals: int = 5) -> np.ndarray:
+    """Round to ``decimals`` places, bounding the distinct-value count.
+
+    The paper's continuous columns have ~10^5..10^6 distinct values;
+    rounding float64 noise gives the generators the same regime instead
+    of every value being unique.
+    """
+    return np.round(np.asarray(values, dtype=np.float64), decimals)
+
+
+def zipf_weights(n: int, exponent: float = 1.1) -> np.ndarray:
+    """Zipf-like normalised weights (rank^-exponent)."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    w = ranks**-exponent
+    return w / w.sum()
+
+
+def gaussian_clusters_2d(
+    n: int,
+    centers: np.ndarray,
+    scales: np.ndarray,
+    correlations: np.ndarray,
+    weights: np.ndarray,
+    rng=None,
+) -> np.ndarray:
+    """Sample (n, 2) points from a mixture of correlated 2-D Gaussians.
+
+    ``centers``: (k, 2); ``scales``: (k, 2) per-axis std; ``correlations``:
+    (k,) in (-1, 1); ``weights``: (k,) mixing proportions.
+    """
+    rng = ensure_rng(rng)
+    k = len(weights)
+    assignment = rng.choice(k, size=n, p=weights)
+    z1 = rng.standard_normal(n)
+    z2 = rng.standard_normal(n)
+    rho = correlations[assignment]
+    x = centers[assignment, 0] + scales[assignment, 0] * z1
+    y = centers[assignment, 1] + scales[assignment, 1] * (rho * z1 + np.sqrt(1 - rho**2) * z2)
+    return np.column_stack([x, y])

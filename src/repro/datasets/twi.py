@@ -1,0 +1,58 @@
+"""TWI-like dataset: geo-tagged tweet coordinates over the U.S.
+
+Population concentrates in cities: latitude/longitude are a mixture of
+anisotropic, rotated 2-D Gaussians whose weights follow a Zipf law (a few
+huge metros, a long tail of towns). Cluster membership couples the two
+columns nonlinearly — the regime where the paper reports NCIE 0.37 and
+where per-column GMMs shine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import ColumnKind, Table
+from repro.datasets.synthetic import gaussian_clusters_2d, quantize, zipf_weights
+from repro.utils.rng import ensure_rng
+
+# Rough continental-US bounding box.
+_LAT_RANGE = (25.0, 49.0)
+_LON_RANGE = (-124.0, -67.0)
+
+
+def make_twi(n_rows: int = 50_000, n_cities: int = 25, seed=0, decimals: int = 5) -> Table:
+    """Generate the TWI stand-in with ``n_rows`` rows over ``n_cities``."""
+    rng = ensure_rng(seed)
+
+    centers = np.column_stack(
+        [
+            rng.uniform(*_LAT_RANGE, size=n_cities),
+            rng.uniform(*_LON_RANGE, size=n_cities),
+        ]
+    )
+    # Big metros are compact relative to the map; scale shrinks with rank.
+    base_scale = np.linspace(0.45, 0.08, n_cities)
+    scales = np.column_stack(
+        [
+            base_scale * rng.uniform(0.5, 1.5, n_cities),
+            base_scale * rng.uniform(0.5, 1.5, n_cities),
+        ]
+    )
+    correlations = rng.uniform(-0.8, 0.8, size=n_cities)
+    weights = zipf_weights(n_cities, exponent=1.05)
+
+    points = gaussian_clusters_2d(n_rows, centers, scales, correlations, weights, rng=rng)
+    lat = np.clip(points[:, 0], *_LAT_RANGE)
+    lon = np.clip(points[:, 1], *_LON_RANGE)
+
+    return Table.from_mapping(
+        "twi",
+        {
+            "latitude": quantize(lat, decimals),
+            "longitude": quantize(lon, decimals),
+        },
+        kinds={
+            "latitude": ColumnKind.CONTINUOUS,
+            "longitude": ColumnKind.CONTINUOUS,
+        },
+    )

@@ -1,0 +1,49 @@
+"""Every selectivity estimator from the paper's evaluation (Section 6.1.2).
+
+============  ================================================  ==========
+name          method                                            class
+============  ================================================  ==========
+sampling      uniform row sample                                Sampling
+postgres      independent per-column 1-D histograms             Postgres1D
+mhist         MaxDiff multi-dimensional histogram               MHist
+bayesnet      Chow–Liu tree Bayesian network                    BayesNet
+kde           Gaussian kernel density (Scott bandwidth)         KDE
+quicksel      uniform mixture fitted to training queries        QuickSel
+mscn          multi-set convolutional network (query-driven)    MSCN
+deepdb        sum-product network (SPN-lite)                    SPNEstimator
+naru          AR model + factorization (Naru/Neurocard)         NaruEstimator
+iam           GMMs + AR model (the paper)                       IAMEstimator
+============  ================================================  ==========
+"""
+
+from repro.estimators.base import Estimator, clamp_selectivity
+from repro.estimators.sampling import Sampling
+from repro.estimators.histogram1d import Postgres1D
+from repro.estimators.mhist import MHist
+from repro.estimators.bayesnet import BayesNet
+from repro.estimators.kde import KDE
+from repro.estimators.quicksel import QuickSel
+from repro.estimators.mscn import MSCN
+from repro.estimators.spn import SPNEstimator
+from repro.estimators.naru import NaruEstimator
+from repro.estimators.uae import UAEEstimator
+from repro.estimators.iam import IAMEstimator
+from repro.estimators.registry import build_estimator, ESTIMATORS
+
+__all__ = [
+    "Estimator",
+    "clamp_selectivity",
+    "Sampling",
+    "Postgres1D",
+    "MHist",
+    "BayesNet",
+    "KDE",
+    "QuickSel",
+    "MSCN",
+    "SPNEstimator",
+    "NaruEstimator",
+    "UAEEstimator",
+    "IAMEstimator",
+    "build_estimator",
+    "ESTIMATORS",
+]

@@ -1,0 +1,63 @@
+"""Common estimator interface.
+
+Data-driven estimators implement ``fit(table)``; query-driven ones also
+consume a labelled training :class:`~repro.query.workload.Workload`
+through the optional ``workload`` argument. Everything returns
+*selectivities* (fractions); callers multiply by row counts for
+cardinalities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.metrics import clamp_selectivity
+from repro.query.query import Query
+from repro.query.workload import Workload
+from repro.utils.timer import Timer
+
+__all__ = ["Estimator", "clamp_selectivity"]
+
+
+class Estimator:
+    """Base class; subclasses set ``name`` and implement fit/estimate."""
+
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self._table: Table | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, table: Table, workload: Workload | None = None) -> "Estimator":
+        """Train on a relation (and optionally a labelled workload)."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def estimate(self, query: Query) -> float:
+        """Estimated selectivity of a conjunctive query, in [1/|T|, 1]."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    # ------------------------------------------------------------------
+    def estimate_many(self, queries: list[Query]) -> np.ndarray:
+        """Default: sequential estimation (overridden by batch-capable
+        estimators)."""
+        return np.array([self.estimate(q) for q in queries])
+
+    def timed_estimates(self, queries: list[Query]) -> tuple[np.ndarray, float]:
+        """(estimates, mean ms per query) for the inference-time figure."""
+        with Timer() as timer:
+            estimates = self.estimate_many(queries)
+        return estimates, timer.elapsed_ms / max(len(queries), 1)
+
+    def size_bytes(self) -> int:
+        """Serialized model size (for the paper's model-size tables)."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> Table:
+        from repro.errors import NotFittedError
+
+        if self._table is None:
+            raise NotFittedError(f"{type(self).__name__} used before fit()")
+        return self._table

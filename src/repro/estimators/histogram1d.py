@@ -1,0 +1,109 @@
+"""Postgres-style estimator: per-column statistics + independence.
+
+Mirrors Postgres ``pg_stats``: each column keeps a most-common-values
+(MCV) list with frequencies and an equi-depth histogram over the
+remaining values. A conjunctive query multiplies per-column range
+selectivities (the attribute-value-independence assumption that makes
+this estimator collapse on correlated data — Tables 2–4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.errors import NotFittedError
+from repro.estimators.base import Estimator, clamp_selectivity
+from repro.query.query import Query
+from repro.query.workload import Workload
+
+Interval = tuple[float, float]
+
+
+class _ColumnStats:
+    """MCV list + equi-depth histogram for one column (pg_stats-like)."""
+
+    def __init__(self, values: np.ndarray, n_mcv: int = 100, n_buckets: int = 100):
+        values = np.asarray(values, dtype=np.float64)
+        n = len(values)
+        distinct, counts = np.unique(values, return_counts=True)
+
+        take = min(n_mcv, len(distinct))
+        top = np.argsort(counts)[::-1][:take]
+        self.mcv_values = distinct[top]
+        self.mcv_freqs = counts[top] / n
+        mcv_set = set(self.mcv_values.tolist())
+
+        rest_mask = ~np.isin(values, self.mcv_values)
+        rest = values[rest_mask]
+        self.rest_fraction = len(rest) / n
+        if len(rest) > 1:
+            qs = np.linspace(0.0, 1.0, n_buckets + 1)
+            self.bounds = np.unique(np.quantile(rest, qs))
+        elif len(rest) == 1:
+            self.bounds = np.array([rest[0], rest[0]])
+        else:
+            self.bounds = np.array([])
+        self._mcv_sorted = np.sort(self.mcv_values)
+        self._mcv_freq_by_sorted = self.mcv_freqs[np.argsort(self.mcv_values)]
+        del mcv_set
+
+    def interval_selectivity(self, low: float, high: float) -> float:
+        """Fraction of the column's values in [low, high]."""
+        sel = 0.0
+        # MCV contribution: exact.
+        lo = np.searchsorted(self._mcv_sorted, low, side="left")
+        hi = np.searchsorted(self._mcv_sorted, high, side="right")
+        sel += float(self._mcv_freq_by_sorted[lo:hi].sum())
+        # Histogram contribution: uniform within equi-depth buckets.
+        if self.rest_fraction > 0 and len(self.bounds) >= 2:
+            b = self.bounds
+            n_buckets = len(b) - 1
+            lows, highs = b[:-1], b[1:]
+            overlap = np.minimum(highs, high) - np.maximum(lows, low)
+            width = highs - lows
+            with np.errstate(divide="ignore", invalid="ignore"):
+                frac = np.where(width > 0, np.clip(overlap, 0, None) / width, 0.0)
+            frac = np.where(
+                width > 0, frac, ((lows >= low) & (lows <= high)).astype(float)
+            )
+            sel += self.rest_fraction * float(frac.sum()) / n_buckets
+        return min(sel, 1.0)
+
+    def size_bytes(self) -> int:
+        return (2 * len(self.mcv_values) + len(self.bounds)) * 4
+
+
+class Postgres1D(Estimator):
+    """Independent 1-D statistics, multiplied across predicates."""
+
+    name = "postgres"
+
+    def __init__(self, n_mcv: int = 100, n_buckets: int = 100):
+        super().__init__()
+        self.n_mcv = n_mcv
+        self.n_buckets = n_buckets
+        self._stats: dict[str, _ColumnStats] = {}
+
+    def fit(self, table: Table, workload: Workload | None = None) -> "Postgres1D":
+        self._table = table
+        self._stats = {
+            column.name: _ColumnStats(column.values, self.n_mcv, self.n_buckets)
+            for column in table.columns
+        }
+        return self
+
+    def estimate(self, query: Query) -> float:
+        if not self._stats:
+            raise NotFittedError("Postgres1D used before fit()")
+        sel = 1.0
+        for name, constraint in query.constraints(self.table).items():
+            stats = self._stats[name]
+            col_sel = sum(
+                stats.interval_selectivity(lo, hi) for lo, hi in constraint.intervals
+            )
+            sel *= min(col_sel, 1.0)
+        return clamp_selectivity(sel, self.table.num_rows)
+
+    def size_bytes(self) -> int:
+        return sum(s.size_bytes() for s in self._stats.values())

@@ -1,0 +1,47 @@
+"""Adapter exposing :class:`repro.core.model.IAM` as an Estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import IAMConfig
+from repro.core.model import IAM
+from repro.data.table import Table
+from repro.errors import NotFittedError
+from repro.estimators.base import Estimator
+from repro.query.query import Query
+from repro.query.workload import Workload
+
+
+class IAMEstimator(Estimator):
+    """The paper's model behind the common estimator interface."""
+
+    name = "iam"
+
+    def __init__(self, config: IAMConfig | None = None, **config_overrides):
+        super().__init__()
+        if config is None:
+            config = IAMConfig(**config_overrides)
+        elif config_overrides:
+            raise ValueError("pass either a config object or overrides, not both")
+        self.config = config
+        self.model: IAM | None = None
+
+    def fit(self, table: Table, workload: Workload | None = None) -> "IAMEstimator":
+        self._table = table
+        self.model = IAM(self.config).fit(table)
+        return self
+
+    def _require_model(self) -> IAM:
+        if self.model is None:
+            raise NotFittedError("IAMEstimator used before fit()")
+        return self.model
+
+    def estimate(self, query: Query) -> float:
+        return self._require_model().estimate(query)
+
+    def estimate_many(self, queries, batch_size: int = 16) -> np.ndarray:
+        return self._require_model().estimate_many(queries, batch_size=batch_size)
+
+    def size_bytes(self) -> int:
+        return self._require_model().size_bytes()

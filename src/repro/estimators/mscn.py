@@ -1,0 +1,167 @@
+"""MSCN-lite: multi-set convolutional network (Kipf et al.), query-driven.
+
+The single-table slice of MSCN: each predicate becomes a feature vector
+(column one-hot ++ operator one-hot ++ normalised value); the predicate
+set is average-pooled through an MLP; a materialised-sample *bitmap*
+(which of 1000 sample rows satisfy the query) goes through its own MLP;
+the concatenation regresses the normalised log-selectivity. Trained with
+MSE on a labelled workload — hence its dependence on the training-query
+distribution that the paper highlights for tail errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, no_grad
+from repro import nn
+from repro.data.table import Table
+from repro.errors import NotFittedError
+from repro.estimators.base import Estimator, clamp_selectivity
+from repro.query.executor import execute_query
+from repro.query.predicate import Op
+from repro.query.query import Query
+from repro.query.workload import Workload
+from repro.utils.rng import ensure_rng
+
+_OPS = list(Op)
+
+
+class MSCN(Estimator):
+    """Set-pooled predicate network + sample bitmap regressor."""
+
+    name = "mscn"
+
+    def __init__(
+        self,
+        hidden: int = 256,
+        n_bitmap_rows: int = 1000,
+        epochs: int = 60,
+        batch_size: int = 64,
+        learning_rate: float = 1e-3,
+        seed=None,
+    ):
+        super().__init__()
+        self.hidden = hidden
+        self.n_bitmap_rows = n_bitmap_rows
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self._rng = ensure_rng(seed)
+        self._sample: Table | None = None
+        self._column_index: dict[str, int] = {}
+        self._ranges: np.ndarray | None = None
+        self._pred_net: nn.Sequential | None = None
+        self._bitmap_net: nn.Sequential | None = None
+        self._head: nn.Sequential | None = None
+        self._log_floor: float = 0.0  # log(1/|T|): normalisation anchor
+
+    # ------------------------------------------------------------------
+    # Featurisation
+    # ------------------------------------------------------------------
+    def _predicate_features(self, query: Query) -> np.ndarray:
+        """(n_predicates, d_cols + n_ops + 1) feature matrix."""
+        d = len(self._column_index)
+        rows = []
+        for predicate in query:
+            i = self._column_index[predicate.column]
+            lo, hi = self._ranges[i]
+            feat = np.zeros(d + len(_OPS) + 1)
+            feat[i] = 1.0
+            feat[d + _OPS.index(predicate.op)] = 1.0
+            span = hi - lo if hi > lo else 1.0
+            feat[-1] = (predicate.value - lo) / span
+            rows.append(feat)
+        return np.stack(rows)
+
+    def _bitmap(self, query: Query) -> np.ndarray:
+        return execute_query(self._sample, query).astype(np.float64)
+
+    def _pooled_features(self, query: Query):
+        pred = self._predicate_features(query).mean(axis=0, keepdims=True)
+        bitmap = self._bitmap(query)[None, :]
+        return pred, bitmap
+
+    def _forward(self, pred_batch: np.ndarray, bitmap_batch: np.ndarray) -> Tensor:
+        hp = self._pred_net(Tensor(pred_batch))
+        hb = self._bitmap_net(Tensor(bitmap_batch))
+        joined = ops.concat([hp, hb], axis=1)
+        return ops.sigmoid(self._head(joined)).reshape(-1)
+
+    def _normalise(self, selectivities: np.ndarray) -> np.ndarray:
+        """Map log-selectivity from [log(1/|T|), 0] to [0, 1]."""
+        logs = np.log(np.clip(selectivities, np.exp(self._log_floor), 1.0))
+        return 1.0 - logs / self._log_floor
+
+    def _denormalise(self, target: np.ndarray) -> np.ndarray:
+        return np.exp((1.0 - target) * self._log_floor)
+
+    # ------------------------------------------------------------------
+    def fit(self, table: Table, workload: Workload | None = None) -> "MSCN":
+        if workload is None or len(workload) == 0:
+            raise NotFittedError("MSCN is query-driven: fit() needs a workload")
+        self._table = table
+        self._column_index = {c.name: i for i, c in enumerate(table.columns)}
+        self._ranges = np.array([[c.min, c.max] for c in table.columns])
+        self._log_floor = float(np.log(1.0 / table.num_rows))
+        self._sample = table.sample_rows(
+            min(self.n_bitmap_rows, table.num_rows), rng=self._rng
+        )
+
+        d_pred = len(self._column_index) + len(_OPS) + 1
+        rng = self._rng
+        self._pred_net = nn.Sequential(
+            nn.Linear(d_pred, self.hidden, rng=rng), nn.ReLU(),
+            nn.Linear(self.hidden, self.hidden, rng=rng), nn.ReLU(),
+        )
+        self._bitmap_net = nn.Sequential(
+            nn.Linear(self._sample.num_rows, self.hidden, rng=rng), nn.ReLU(),
+        )
+        self._head = nn.Sequential(
+            nn.Linear(2 * self.hidden, self.hidden, rng=rng), nn.ReLU(),
+            nn.Linear(self.hidden, 1, rng=rng),
+        )
+
+        pred_feats = np.vstack([self._pooled_features(q)[0] for q in workload.queries])
+        bitmaps = np.vstack([self._pooled_features(q)[1] for q in workload.queries])
+        targets = self._normalise(workload.true_selectivities)
+
+        params = (
+            self._pred_net.parameters()
+            + self._bitmap_net.parameters()
+            + self._head.parameters()
+        )
+        optimizer = nn.Adam(params, lr=self.learning_rate)
+        n = len(targets)
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                rows = order[start : start + self.batch_size]
+                out = self._forward(pred_feats[rows], bitmaps[rows])
+                loss = nn.mse_loss(out, targets[rows])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        return self
+
+    # ------------------------------------------------------------------
+    def estimate(self, query: Query) -> float:
+        return float(self.estimate_many([query])[0])
+
+    def estimate_many(self, queries) -> np.ndarray:
+        if self._head is None:
+            raise NotFittedError("MSCN used before fit()")
+        pred = np.vstack([self._pooled_features(q)[0] for q in queries])
+        bitmap = np.vstack([self._pooled_features(q)[1] for q in queries])
+        with no_grad():
+            out = self._forward(pred, bitmap).numpy()
+        sels = self._denormalise(np.clip(out, 0.0, 1.0))
+        n = self.table.num_rows
+        return np.clip(sels, 1.0 / n, 1.0)
+
+    def size_bytes(self) -> int:
+        if self._head is None:
+            raise NotFittedError("MSCN used before fit()")
+        nets = (self._pred_net, self._bitmap_net, self._head)
+        return sum(net.size_bytes() for net in nets)

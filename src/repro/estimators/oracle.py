@@ -1,0 +1,34 @@
+"""The exact oracle estimator: ground truth behind the Estimator API.
+
+Useful as the reference row in experiments and as the "perfect
+estimates" oracle for the optimizer simulator. Obviously not a real
+estimator — it scans the table — but having it behind the common
+interface keeps harness code uniform.
+"""
+
+from __future__ import annotations
+
+from repro.data.table import Table
+from repro.estimators.base import Estimator, clamp_selectivity
+from repro.query.executor import true_selectivity
+from repro.query.query import Query
+from repro.query.workload import Workload
+
+
+class Oracle(Estimator):
+    """Exact selectivities by scanning the relation."""
+
+    name = "oracle"
+
+    def fit(self, table: Table, workload: Workload | None = None) -> "Oracle":
+        self._table = table
+        return self
+
+    def estimate(self, query: Query) -> float:
+        return clamp_selectivity(
+            true_selectivity(self.table, query, floor=False), self.table.num_rows
+        )
+
+    def size_bytes(self) -> int:
+        # The "model" is the data itself.
+        return self.table.num_rows * self.table.num_columns * 8

@@ -1,0 +1,107 @@
+"""QuickSel: a uniform mixture model learned from training queries.
+
+Park et al.'s QuickSel fits a mixture of uniform distributions whose
+supports come from the training queries' boxes, with weights chosen so
+the mixture reproduces the observed training selectivities (a quadratic
+program; we solve the equivalent non-negative least squares with an
+added sum-to-one row via ``scipy.optimize.nnls``).
+
+Estimation of a new box: ``sum_b w_b * vol(box ∩ support_b)/vol(support_b)``
+— the uniformity-within-bucket assumption responsible for its large
+errors on skewed, high-dimensional data (paper observation (6)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.data.table import Table
+from repro.errors import NotFittedError
+from repro.estimators.base import Estimator, clamp_selectivity
+from repro.query.query import Query
+from repro.query.workload import Workload
+from repro.utils.rng import ensure_rng
+
+
+class QuickSel(Estimator):
+    """Query-driven uniform-mixture selectivity learner."""
+
+    name = "quicksel"
+
+    def __init__(self, max_buckets: int = 400, sum_to_one_weight: float = 10.0, seed=None):
+        super().__init__()
+        self.max_buckets = max_buckets
+        self.sum_to_one_weight = sum_to_one_weight
+        self._rng = ensure_rng(seed)
+        self._boxes: np.ndarray | None = None  # (B, d, 2)
+        self._weights: np.ndarray | None = None
+        self._column_index: dict[str, int] = {}
+        self._domain: np.ndarray | None = None  # (d, 2)
+
+    # ------------------------------------------------------------------
+    def _query_box(self, query: Query) -> np.ndarray:
+        """Axis-aligned box of a conjunctive query (hull of the intervals)."""
+        box = self._domain.copy()
+        for name, constraint in query.constraints(self.table).items():
+            i = self._column_index[name]
+            lo, hi = constraint.bounds()
+            box[i, 0] = max(box[i, 0], lo)
+            box[i, 1] = min(box[i, 1], hi)
+        return box
+
+    @staticmethod
+    def _overlap_fraction(boxes: np.ndarray, query_box: np.ndarray) -> np.ndarray:
+        """(B,) fraction of each bucket's volume inside ``query_box``."""
+        lo = np.maximum(boxes[:, :, 0], query_box[None, :, 0])
+        hi = np.minimum(boxes[:, :, 1], query_box[None, :, 1])
+        overlap = np.clip(hi - lo, 0.0, None)
+        width = boxes[:, :, 1] - boxes[:, :, 0]
+        frac = np.where(width > 0, overlap / np.where(width > 0, width, 1.0), (overlap > 0) * 1.0)
+        # Degenerate (point) dimensions: inside iff the point is covered.
+        point = width <= 0
+        if point.any():
+            inside = (boxes[:, :, 0] >= query_box[None, :, 0]) & (
+                boxes[:, :, 0] <= query_box[None, :, 1]
+            )
+            frac = np.where(point, inside.astype(float), frac)
+        return frac.prod(axis=1)
+
+    # ------------------------------------------------------------------
+    def fit(self, table: Table, workload: Workload | None = None) -> "QuickSel":
+        if workload is None or len(workload) == 0:
+            raise NotFittedError("QuickSel is query-driven: fit() needs a workload")
+        self._table = table
+        self._column_index = {c.name: i for i, c in enumerate(table.columns)}
+        self._domain = np.array([[c.min, c.max] for c in table.columns], dtype=np.float64)
+
+        queries = workload.queries
+        sels = workload.true_selectivities
+        if len(queries) > self.max_buckets:
+            pick = self._rng.choice(len(queries), size=self.max_buckets, replace=False)
+            queries = [queries[i] for i in pick]
+            sels = sels[pick]
+
+        boxes = [self._domain.copy()]  # the full-domain bucket anchors mass
+        boxes.extend(self._query_box(q) for q in queries)
+        self._boxes = np.stack(boxes)
+
+        # Least-squares system: training query rows + a sum-to-one row.
+        rows = [self._overlap_fraction(self._boxes, self._query_box(q)) for q in queries]
+        a = np.vstack(rows + [np.full(len(self._boxes), self.sum_to_one_weight)])
+        b = np.concatenate([sels, [self.sum_to_one_weight]])
+        weights, _ = nnls(a, b)
+        total = weights.sum()
+        self._weights = weights / total if total > 0 else np.full(len(weights), 1.0 / len(weights))
+        return self
+
+    # ------------------------------------------------------------------
+    def estimate(self, query: Query) -> float:
+        if self._weights is None:
+            raise NotFittedError("QuickSel used before fit()")
+        frac = self._overlap_fraction(self._boxes, self._query_box(query))
+        return clamp_selectivity(float(self._weights @ frac), self.table.num_rows)
+
+    def size_bytes(self) -> int:
+        assert self._boxes is not None
+        return (self._boxes.size + self._weights.size) * 4

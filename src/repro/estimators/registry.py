@@ -1,0 +1,55 @@
+"""Estimator registry: build any paper baseline by name.
+
+The defaults reflect the paper's settings scaled to laptop size (see
+DESIGN.md Section 2); every knob can be overridden through kwargs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.estimators.base import Estimator
+from repro.estimators.bayesnet import BayesNet
+from repro.estimators.histogram1d import Postgres1D
+from repro.estimators.iam import IAMEstimator
+from repro.estimators.kde import KDE
+from repro.estimators.mhist import MHist
+from repro.estimators.mscn import MSCN
+from repro.estimators.naru import NaruEstimator
+from repro.estimators.quicksel import QuickSel
+from repro.estimators.sampling import Sampling
+from repro.estimators.spn import SPNEstimator
+from repro.estimators.uae import UAEEstimator
+from repro.estimators.multigmm import IAMMultiGMM
+from repro.estimators.modelqe import ModelQE
+from repro.estimators.oracle import Oracle
+
+ESTIMATORS: dict[str, Callable[..., Estimator]] = {
+    "oracle": Oracle,
+    "sampling": lambda **kw: Sampling(**{"fraction": 0.01, **kw}),
+    "postgres": Postgres1D,
+    "mhist": MHist,
+    "bayesnet": BayesNet,
+    "kde": KDE,
+    "quicksel": QuickSel,
+    "mscn": MSCN,
+    "modelqe": ModelQE,
+    "deepdb": SPNEstimator,
+    "naru": NaruEstimator,
+    "uae": UAEEstimator,
+    "uae-q": lambda **kw: UAEEstimator(**{"data_weight": 0.0, **kw}),
+    "iam": IAMEstimator,
+    "iam-multigmm": IAMMultiGMM,
+}
+
+QUERY_DRIVEN = {"quicksel", "mscn", "modelqe", "kde", "uae", "uae-q"}
+
+
+def build_estimator(name: str, **kwargs) -> Estimator:
+    """Instantiate a registered estimator."""
+    try:
+        factory = ESTIMATORS[name]
+    except KeyError:
+        raise ConfigError(f"unknown estimator {name!r}; available: {sorted(ESTIMATORS)}") from None
+    return factory(**kwargs)

@@ -1,0 +1,56 @@
+"""Uniform-sample estimator (the paper's "Sampling" baseline).
+
+Keeps a uniform row sample sized to a space budget and answers queries by
+exact evaluation on the sample. Excellent at the median, collapses on
+low-selectivity (tail) queries — the behaviour Tables 2–4 show.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.errors import ConfigError
+from repro.estimators.base import Estimator, clamp_selectivity
+from repro.query.executor import execute_query
+from repro.query.query import Query
+from repro.query.workload import Workload
+from repro.utils.rng import ensure_rng
+
+
+class Sampling(Estimator):
+    """Evaluate queries exactly on a uniform sample of the relation."""
+
+    name = "sampling"
+
+    def __init__(self, fraction: float | None = None, n_rows: int | None = None, seed=None):
+        super().__init__()
+        if (fraction is None) == (n_rows is None):
+            raise ConfigError("specify exactly one of fraction / n_rows")
+        if fraction is not None and not 0.0 < fraction <= 1.0:
+            raise ConfigError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+        self.n_sample_rows = n_rows
+        self._rng = ensure_rng(seed)
+        self._sample: Table | None = None
+
+    def fit(self, table: Table, workload: Workload | None = None) -> "Sampling":
+        self._table = table
+        size = (
+            self.n_sample_rows
+            if self.n_sample_rows is not None
+            else max(1, int(round(self.fraction * table.num_rows)))
+        )
+        size = min(size, table.num_rows)
+        idx = self._rng.choice(table.num_rows, size=size, replace=False)
+        self._sample = table.take(idx)
+        return self
+
+    def estimate(self, query: Query) -> float:
+        assert self._sample is not None
+        sel = execute_query(self._sample, query).mean()
+        return clamp_selectivity(float(sel), self.table.num_rows)
+
+    def size_bytes(self) -> int:
+        assert self._sample is not None
+        return self._sample.num_rows * self._sample.num_columns * 8

@@ -1,0 +1,135 @@
+"""UAE and UAE-Q (Wu & Cong, SIGMOD'21): AR models trained from queries.
+
+UAE extends the Naru-style data-driven AR estimator with a *query* loss:
+the selectivity estimate produced by progressive sampling is made
+differentiable and regressed (in log space) onto the training workload's
+true selectivities. UAE-Q drops the data term and learns from queries
+alone — the paper's strongest query-driven baseline.
+
+Deviation from the original: UAE propagates gradients through sampling
+with a Gumbel-softmax straight-through estimator; we freeze the sampled
+paths and differentiate only the range-probability factors (see
+:func:`repro.ar.progressive.differentiable_estimate`). Both are biased
+gradient estimators of the same objective; the frozen-path variant is
+simpler and stable at this scale.
+
+Shares the slot plan (factorization included) with
+:class:`~repro.estimators.naru.NaruEstimator`; the only change is the
+training loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ar.made import build_made
+from repro.ar.progressive import ProgressiveSampler, differentiable_estimate
+from repro.ar.train import draw_wildcard_mask, initialize_output_bias
+from repro.autodiff.tensor import Tensor
+from repro.errors import ConfigError, NotFittedError
+from repro.estimators.naru import NaruEstimator, _SlotPlan
+from repro.data.table import Table
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.query.workload import Workload
+from repro.utils.rng import ensure_rng
+
+
+class UAEEstimator(NaruEstimator):
+    """AR estimator trained on data and/or a labelled query workload.
+
+    ``data_weight=1, query_weight=1`` is UAE; ``data_weight=0`` is UAE-Q.
+    """
+
+    name = "uae"
+
+    def __init__(
+        self,
+        data_weight: float = 1.0,
+        query_weight: float = 1.0,
+        queries_per_step: int = 4,
+        query_samples: int = 64,
+        **naru_kwargs,
+    ):
+        super().__init__(**naru_kwargs)
+        if data_weight < 0 or query_weight < 0 or data_weight + query_weight == 0:
+            raise ConfigError("data_weight/query_weight must be >= 0, not both zero")
+        self.data_weight = data_weight
+        self.query_weight = query_weight
+        self.queries_per_step = queries_per_step
+        self.query_samples = query_samples
+        if data_weight == 0:
+            self.name = "uae-q"
+
+    # ------------------------------------------------------------------
+    def fit(self, table: Table, workload: Workload | None = None) -> "UAEEstimator":
+        if self.query_weight > 0 and (workload is None or len(workload) == 0):
+            raise NotFittedError(f"{self.name} needs a labelled training workload")
+        self._table = table
+        self._plan = _SlotPlan(table, self.factorize_threshold, self.max_subdomain)
+        tokens = self._plan.encode(table)
+        rng = ensure_rng(self.seed)
+
+        self.model = build_made(
+            self._plan.vocab_sizes,
+            arch=self.arch,
+            hidden_sizes=self.hidden_sizes,
+            embed_dim=self.embed_dim,
+            seed=self.seed,
+        )
+        if self.data_weight > 0:
+            initialize_output_bias(self.model, tokens)
+        optimizer = Adam(self.model.parameters(), lr=self.learning_rate)
+
+        n = len(tokens)
+        floor = np.log(1.0 / table.num_rows)
+        query_constraints = None
+        if workload is not None and self.query_weight > 0:
+            query_constraints = [
+                (self._constraints(q), max(s, 1.0 / table.num_rows))
+                for q, s in zip(workload.queries, workload.true_selectivities)
+            ]
+
+        self.epoch_losses = []
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            total, batches = 0.0, 0
+            for start in range(0, n, self.batch_size):
+                loss = None
+                if self.data_weight > 0:
+                    batch = tokens[order[start : start + self.batch_size]]
+                    mask = draw_wildcard_mask(
+                        rng, len(batch), self.model.n_columns, self.wildcard_probability
+                    )
+                    nll = -self.model.log_likelihood(batch, wildcard_mask=mask).mean()
+                    loss = nll * self.data_weight
+                if query_constraints:
+                    picks = rng.choice(len(query_constraints), size=self.queries_per_step)
+                    q_loss = None
+                    for pick in picks:
+                        constraints, true_sel = query_constraints[pick]
+                        estimate = differentiable_estimate(
+                            self.model, constraints, self.query_samples, rng
+                        )
+                        # log-space MSE with a floor keeps the loss finite
+                        # when the sampler returns ~0 for a hard query.
+                        log_est = (estimate + np.exp(floor)).log()
+                        diff = log_est - float(np.log(true_sel))
+                        term = diff * diff
+                        q_loss = term if q_loss is None else q_loss + term
+                    q_loss = q_loss * (self.query_weight / len(picks))
+                    loss = q_loss if loss is None else loss + q_loss
+                assert loss is not None
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), 5.0)
+                optimizer.step()
+                total += loss.item()
+                batches += 1
+                if self.data_weight == 0 and batches >= 20:
+                    break  # query-only epochs need far fewer steps
+            self.epoch_losses.append(total / max(batches, 1))
+
+        self._sampler = ProgressiveSampler(
+            self.model, n_samples=self.n_progressive_samples, seed=ensure_rng(self.seed)
+        )
+        return self

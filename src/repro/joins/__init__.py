@@ -1,0 +1,39 @@
+"""Multi-table (join) support, Neurocard-style.
+
+The paper's IMDB experiment trains one AR model over unbiased samples of
+the *full outer join* of the schema (Section 3, "Join Queries"), using
+the Exact-Weight algorithm to sample and fanout columns to scale
+estimates down to query-specific table subsets.
+
+Scope: star schemas (a hub table referenced by satellite tables), which
+covers the JOB-light-style workloads the paper evaluates. For a star the
+Exact-Weight sampler is closed-form: a hub row appears in
+``prod_i max(c_i(h), 1)`` full-join rows, where ``c_i(h)`` is satellite
+*i*'s fanout.
+"""
+
+from repro.joins.schema import Satellite, StarSchema
+from repro.joins.tree import TreeEdge, TreeSchema
+from repro.joins.query import JoinQuery
+from repro.joins.sampler import FullJoinSample, sample_full_join
+from repro.joins.armodel import JoinAREstimator
+from repro.joins.classic import PostgresJoin
+from repro.joins.mscn import MSCNJoin
+from repro.joins.modelqe import ModelQEJoin
+from repro.joins.generator import JoinQueryGenerator, JoinWorkload
+
+__all__ = [
+    "Satellite",
+    "StarSchema",
+    "TreeEdge",
+    "TreeSchema",
+    "JoinQuery",
+    "FullJoinSample",
+    "sample_full_join",
+    "JoinAREstimator",
+    "PostgresJoin",
+    "MSCNJoin",
+    "ModelQEJoin",
+    "JoinQueryGenerator",
+    "JoinWorkload",
+]

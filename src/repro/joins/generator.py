@@ -1,0 +1,117 @@
+"""Join-query workload generation (JOB-light style, Section 6.1.3).
+
+Queries are distributed over the join templates of the star schema (each
+connected subset containing the hub); predicates are anchored on a tuple
+drawn from the inner join, following Neurocard's generator: range
+operators on continuous columns, point/range on categoricals.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.joins.query import JoinQuery
+from repro.joins.schema import StarSchema
+from repro.query.predicate import CATEGORICAL_OPS, RANGE_OPS, Predicate
+from repro.query.query import Query
+from repro.utils.rng import ensure_rng
+
+
+def join_templates(schema: StarSchema) -> list[frozenset[str]]:
+    """All table subsets containing the hub (the star's join graphs)."""
+    names = [s.table.name for s in schema.satellites]
+    out = []
+    for r in range(len(names) + 1):
+        for combo in itertools.combinations(names, r):
+            out.append(frozenset({schema.hub.name, *combo}))
+    return out
+
+
+class JoinQueryGenerator:
+    """Random join queries over a star schema."""
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        min_predicates: int = 2,
+        max_predicates: int = 5,
+        seed=None,
+    ):
+        self.schema = schema
+        self.min_predicates = min_predicates
+        self.max_predicates = max_predicates
+        if min_predicates < 1 or max_predicates < min_predicates:
+            raise ConfigError("invalid predicate-count bounds")
+        self._rng = ensure_rng(seed)
+        self._templates = join_templates(schema)
+
+    def generate(self) -> JoinQuery:
+        rng = self._rng
+        tables = self._templates[rng.integers(len(self._templates))]
+        candidates = []
+        for name in tables:
+            table = self.schema.tables[name]
+            for column in table.columns:
+                if name == self.schema.hub.name and column.name == self.schema.hub_key:
+                    continue
+                if any(s.table.name == name and s.fk_column == column.name
+                       for s in self.schema.satellites):
+                    continue
+                candidates.append((name, column))
+        n_preds = int(rng.integers(self.min_predicates, self.max_predicates + 1))
+        n_preds = min(n_preds, len(candidates))
+        chosen = rng.choice(len(candidates), size=n_preds, replace=False)
+        predicates = []
+        for idx in chosen:
+            _, column = candidates[idx]
+            if column.is_continuous():
+                value = float(rng.uniform(column.min, column.max))
+                op = RANGE_OPS[rng.integers(len(RANGE_OPS))]
+            else:
+                value = float(column.distinct_values[rng.integers(column.domain_size)])
+                op = CATEGORICAL_OPS[rng.integers(len(CATEGORICAL_OPS))]
+            predicates.append(Predicate(column.name, op, value))
+        return JoinQuery(tables=tables, query=Query(predicates))
+
+    def generate_many(self, n: int) -> list[JoinQuery]:
+        return [self.generate() for _ in range(n)]
+
+
+@dataclass
+class JoinWorkload:
+    """Join queries with exact cardinalities."""
+
+    queries: list[JoinQuery]
+    true_cardinalities: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    @classmethod
+    def generate(
+        cls,
+        schema: StarSchema,
+        n_queries: int,
+        seed=None,
+        min_predicates: int = 2,
+        max_predicates: int = 5,
+    ) -> "JoinWorkload":
+        generator = JoinQueryGenerator(
+            schema,
+            min_predicates=min_predicates,
+            max_predicates=max_predicates,
+            seed=seed,
+        )
+        queries = generator.generate_many(n_queries)
+        cards = np.array([schema.true_cardinality(q) for q in queries], dtype=np.float64)
+        return cls(queries, cards)
+
+    def split(self, n_first: int) -> tuple["JoinWorkload", "JoinWorkload"]:
+        return (
+            JoinWorkload(self.queries[:n_first], self.true_cardinalities[:n_first]),
+            JoinWorkload(self.queries[n_first:], self.true_cardinalities[n_first:]),
+        )

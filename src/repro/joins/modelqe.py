@@ -1,0 +1,99 @@
+"""Model_QE with join support (the Table 7 reference baseline).
+
+Features per join query: the per-column normalised range bounds over all
+schema columns plus a participating-table one-hot; target: normalised
+log-cardinality; model: from-scratch GBDT. No materialised samples, no
+neural network — which is why its batch inference is microseconds
+(Table 7's point of comparison).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.joins.query import JoinQuery
+from repro.query.query import Query
+from repro.trees import GradientBoostedRegressor
+from repro.utils.rng import ensure_rng
+
+
+class ModelQEJoin:
+    """GBDT over join-query range features."""
+
+    name = "modelqe-join"
+
+    def __init__(self, n_estimators: int = 150, learning_rate: float = 0.1,
+                 max_depth: int = 5, seed=None):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.seed = seed
+        self.schema = None
+        self._columns: list[tuple[str, float, float]] = []  # (name, min, span)
+        self._tables: list[str] = []
+        self._model: GradientBoostedRegressor | None = None
+        self._log_cap: float = 1.0
+
+    # ------------------------------------------------------------------
+    def _features(self, join_query: JoinQuery) -> np.ndarray:
+        bounds = np.tile(np.array([0.0, 1.0]), len(self._columns))
+        per_table: dict[str, list] = {}
+        for predicate in join_query.query:
+            per_table.setdefault(
+                self.schema.table_of_column(predicate.column), []
+            ).append(predicate)
+        for table_name, predicates in per_table.items():
+            table = self.schema.tables[table_name]
+            constraint_map = Query(predicates).constraints(table)
+            for i, (name, lo0, span) in enumerate(self._columns):
+                constraint = constraint_map.get(name)
+                if constraint is None:
+                    continue
+                if constraint.is_empty:
+                    bounds[2 * i : 2 * i + 2] = (1.0, 0.0)
+                else:
+                    lo, hi = constraint.bounds()
+                    bounds[2 * i] = (lo - lo0) / span
+                    bounds[2 * i + 1] = (hi - lo0) / span
+        onehot = np.array(
+            [1.0 if t in join_query.tables else 0.0 for t in self._tables]
+        )
+        return np.concatenate([bounds, onehot])
+
+    # ------------------------------------------------------------------
+    def fit(self, schema, workload) -> "ModelQEJoin":
+        self.schema = schema
+        key_columns = schema.join_key_columns()
+        self._columns = [
+            (c.name, c.min, (c.max - c.min) or 1.0)
+            for table in schema.tables.values()
+            for c in table.columns
+            if c.name not in key_columns
+        ]
+        self._tables = sorted(schema.tables)
+        self._log_cap = float(np.log(schema.full_join_size() + 1.0))
+        features = np.vstack([self._features(q) for q in workload.queries])
+        targets = np.log(np.maximum(workload.true_cardinalities, 1.0)) / self._log_cap
+        self._model = GradientBoostedRegressor(
+            n_estimators=self.n_estimators,
+            learning_rate=self.learning_rate,
+            max_depth=self.max_depth,
+            seed=ensure_rng(self.seed).integers(2**31),
+        ).fit(features, targets)
+        return self
+
+    def estimate_cardinality(self, join_query: JoinQuery) -> float:
+        return float(self.estimate_cardinalities([join_query])[0])
+
+    def estimate_cardinalities(self, join_queries) -> np.ndarray:
+        if self._model is None:
+            raise NotFittedError("ModelQEJoin used before fit()")
+        features = np.vstack([self._features(q) for q in join_queries])
+        out = np.clip(self._model.predict(features), 0.0, 1.0)
+        return np.maximum(np.exp(out * self._log_cap), 1.0)
+
+    def size_bytes(self) -> int:
+        if self._model is None:
+            raise NotFittedError("ModelQEJoin used before fit()")
+        return self._model.size_bytes()

@@ -1,0 +1,152 @@
+"""MSCN with join support (the paper's multi-table MSCN baseline).
+
+Extends the single-table featurisation with a table-set one-hot (which
+tables participate in the join) and takes its bitmap over a materialised
+full-outer-join sample. Trained on a labelled join workload with MSE on
+the normalised log-cardinality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, no_grad
+from repro import nn
+from repro.errors import NotFittedError
+from repro.joins.query import JoinQuery
+from repro.joins.sampler import FullJoinSample, sample_full_join
+from repro.joins.schema import StarSchema
+from repro.query.predicate import Op
+from repro.utils.rng import ensure_rng
+
+_OPS = list(Op)
+
+
+class MSCNJoin:
+    """Set-pooled predicate + join features + sample bitmap regressor."""
+
+    name = "mscn-join"
+
+    def __init__(
+        self,
+        hidden: int = 128,
+        n_bitmap_rows: int = 1000,
+        epochs: int = 60,
+        batch_size: int = 64,
+        learning_rate: float = 1e-3,
+        seed=None,
+    ):
+        self.hidden = hidden
+        self.n_bitmap_rows = n_bitmap_rows
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self._rng = ensure_rng(seed)
+        self.schema: StarSchema | None = None
+        self._sample: FullJoinSample | None = None
+        self._columns: list[str] = []
+        self._tables: list[str] = []
+        self._ranges: dict[str, tuple[float, float]] = {}
+        self._net: dict[str, nn.Sequential] = {}
+        self._log_cap: float = 1.0
+
+    # ------------------------------------------------------------------
+    def _features(self, join_query: JoinQuery) -> np.ndarray:
+        d_col, d_tab = len(self._columns), len(self._tables)
+        pooled = np.zeros(d_col + len(_OPS) + 1)
+        for predicate in join_query.query:
+            feat = np.zeros_like(pooled)
+            feat[self._columns.index(predicate.column)] = 1.0
+            feat[d_col + _OPS.index(predicate.op)] = 1.0
+            lo, hi = self._ranges[predicate.column]
+            feat[-1] = (predicate.value - lo) / (hi - lo if hi > lo else 1.0)
+            pooled += feat
+        pooled /= max(len(join_query.query), 1)
+        table_onehot = np.zeros(d_tab)
+        for name in join_query.tables:
+            table_onehot[self._tables.index(name)] = 1.0
+        return np.concatenate([pooled, table_onehot])
+
+    def _bitmap(self, join_query: JoinQuery) -> np.ndarray:
+        sample = self._sample
+        mask = np.ones(sample.num_rows, dtype=bool)
+        for predicate in join_query.query:
+            mask &= predicate.evaluate(sample.columns[predicate.column])
+            owner = self.schema.table_of_column(predicate.column)
+            if owner in sample.null_masks:
+                mask &= ~sample.null_masks[owner]
+        for name in join_query.tables:
+            if name in sample.null_masks:
+                mask &= ~sample.null_masks[name]
+        return mask.astype(np.float64)
+
+    def _forward(self, feats: np.ndarray, bitmaps: np.ndarray) -> Tensor:
+        hq = self._net["query"](Tensor(feats))
+        hb = self._net["bitmap"](Tensor(bitmaps))
+        return ops.sigmoid(self._net["head"](ops.concat([hq, hb], axis=1))).reshape(-1)
+
+    # ------------------------------------------------------------------
+    def fit(self, schema: StarSchema, workload) -> "MSCNJoin":
+        """``workload``: a :class:`repro.joins.generator.JoinWorkload`."""
+        self.schema = schema
+        self._sample = sample_full_join(schema, self.n_bitmap_rows, seed=self._rng)
+        self._tables = sorted(schema.tables)
+        self._columns = sorted(self._sample.columns)
+        self._ranges = {
+            name: (float(values.min()), float(values.max()))
+            for name, values in self._sample.columns.items()
+        }
+        self._log_cap = float(np.log(schema.full_join_size() + 1.0))
+
+        rng = self._rng
+        d_in = len(self._columns) + len(_OPS) + 1 + len(self._tables)
+        self._net = {
+            "query": nn.Sequential(
+                nn.Linear(d_in, self.hidden, rng=rng), nn.ReLU(),
+                nn.Linear(self.hidden, self.hidden, rng=rng), nn.ReLU(),
+            ),
+            "bitmap": nn.Sequential(
+                nn.Linear(self._sample.num_rows, self.hidden, rng=rng), nn.ReLU(),
+            ),
+            "head": nn.Sequential(
+                nn.Linear(2 * self.hidden, self.hidden, rng=rng), nn.ReLU(),
+                nn.Linear(self.hidden, 1, rng=rng),
+            ),
+        }
+
+        feats = np.vstack([self._features(q) for q in workload.queries])
+        bitmaps = np.vstack([self._bitmap(q) for q in workload.queries])
+        targets = np.log(np.maximum(workload.true_cardinalities, 1.0)) / self._log_cap
+
+        params = [p for net in self._net.values() for p in net.parameters()]
+        optimizer = nn.Adam(params, lr=self.learning_rate)
+        n = len(targets)
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                rows = order[start : start + self.batch_size]
+                out = self._forward(feats[rows], bitmaps[rows])
+                loss = nn.mse_loss(out, targets[rows])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        return self
+
+    # ------------------------------------------------------------------
+    def estimate_cardinality(self, join_query: JoinQuery) -> float:
+        return float(self.estimate_cardinalities([join_query])[0])
+
+    def estimate_cardinalities(self, join_queries) -> np.ndarray:
+        if not self._net:
+            raise NotFittedError("MSCNJoin used before fit()")
+        feats = np.vstack([self._features(q) for q in join_queries])
+        bitmaps = np.vstack([self._bitmap(q) for q in join_queries])
+        with no_grad():
+            out = self._forward(feats, bitmaps).numpy()
+        return np.maximum(np.exp(np.clip(out, 0.0, 1.0) * self._log_cap), 1.0)
+
+    def size_bytes(self) -> int:
+        if not self._net:
+            raise NotFittedError("MSCNJoin used before fit()")
+        return sum(net.size_bytes() for net in self._net.values())

@@ -1,0 +1,43 @@
+"""Join queries: a table subset plus a conjunction of predicates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.query.query import Query
+
+
+@dataclass(frozen=True)
+class JoinQuery:
+    """An equi-join over ``tables`` with conjunctive ``query`` predicates.
+
+    The table subset must contain the hub (JOB-light joins always include
+    ``title``); every predicate's column must belong to one of the
+    subset's tables.
+    """
+
+    tables: frozenset[str]
+    query: Query
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise QueryError("a join query needs at least one table")
+        if not isinstance(self.tables, frozenset):
+            object.__setattr__(self, "tables", frozenset(self.tables))
+
+    def validate(self, schema) -> None:
+        unknown = self.tables - set(schema.tables)
+        if unknown:
+            raise QueryError(f"unknown tables in join query: {sorted(unknown)}")
+        schema.validate_subset(self.tables)  # root membership, connectivity
+        for predicate in self.query:
+            owner = schema.table_of_column(predicate.column)
+            if owner not in self.tables:
+                raise QueryError(
+                    f"predicate on {predicate.column!r} references table {owner!r} "
+                    "outside the join subset"
+                )
+
+    def __str__(self) -> str:
+        return f"JOIN[{', '.join(sorted(self.tables))}] WHERE {self.query}"

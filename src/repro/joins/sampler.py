@@ -1,0 +1,107 @@
+"""Exact-Weight sampling of the full outer join of a star schema.
+
+Zhao et al.'s Exact Weight algorithm draws uniform samples from a join
+result by weighting each tuple with the number of join rows it joins
+into. For a star schema this is closed-form:
+
+- hub row ``h`` appears in ``w(h) = prod_i max(c_i(h), 1)`` full-join
+  rows, so hub rows are drawn with probability ``w(h)/sum w``;
+- given ``h``, each satellite independently contributes one of its
+  ``c_i(h)`` matching rows uniformly, or a NULL pad when ``c_i(h) = 0``.
+
+The sample carries, per satellite, the *present* indicator and the
+*fanout* ``f_i = max(c_i(h), 1)`` — the scaling columns NeuroCard's
+estimator divides by for queries over table subsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.joins.schema import StarSchema
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class FullJoinSample:
+    """A uniform sample of the full outer join.
+
+    Attributes
+    ----------
+    columns:
+        ``{column_name: (m,) float array}`` for every hub and satellite
+        data column. NULL-padded satellite entries hold arbitrary values;
+        consult ``null_masks``.
+    null_masks:
+        ``{satellite_table_name: (m,) bool}`` — True where the satellite
+        side is a NULL pad.
+    fanouts:
+        ``{satellite_table_name: (m,) int}`` — ``max(c_i(h), 1)``.
+    full_join_size:
+        |full outer join|, the scale factor from selectivity on the
+        sample to cardinalities.
+    """
+
+    columns: dict[str, np.ndarray]
+    null_masks: dict[str, np.ndarray]
+    fanouts: dict[str, np.ndarray]
+    full_join_size: int
+
+    @property
+    def num_rows(self) -> int:
+        return len(next(iter(self.columns.values())))
+
+
+def sample_full_join(schema: StarSchema, m: int, seed=None) -> FullJoinSample:
+    """Draw ``m`` uniform full-outer-join rows from a star schema."""
+    rng = ensure_rng(seed)
+    hub = schema.hub
+    keys = hub[schema.hub_key].values.astype(np.int64)
+
+    counts = {s.table.name: schema.fanout_counts(s) for s in schema.satellites}
+    weights = np.ones(hub.num_rows, dtype=np.float64)
+    for satellite in schema.satellites:
+        weights *= np.maximum(counts[satellite.table.name][keys], 1)
+    total = weights.sum()
+    hub_rows = rng.choice(hub.num_rows, size=m, p=weights / total)
+
+    columns: dict[str, np.ndarray] = {}
+    for column in hub.columns:
+        if column.name == schema.hub_key:
+            continue  # join keys carry no predicate value
+        columns[column.name] = column.values[hub_rows].astype(np.float64)
+
+    null_masks: dict[str, np.ndarray] = {}
+    fanouts: dict[str, np.ndarray] = {}
+    sampled_keys = keys[hub_rows]
+
+    for satellite in schema.satellites:
+        name = satellite.table.name
+        fk = satellite.table[satellite.fk_column].values.astype(np.int64)
+        # Row ids of the satellite grouped by key: sort once, slice per draw.
+        order = np.argsort(fk, kind="stable")
+        sorted_fk = fk[order]
+        starts = np.searchsorted(sorted_fk, sampled_keys, side="left")
+        ends = np.searchsorted(sorted_fk, sampled_keys, side="right")
+        c = (ends - starts).astype(np.int64)
+        null = c == 0
+        pick = starts + (rng.random(m) * np.maximum(c, 1)).astype(np.int64)
+        pick = np.minimum(pick, np.maximum(ends - 1, 0))
+        sat_rows = order[pick]
+
+        for column in satellite.table.columns:
+            if column.name == satellite.fk_column:
+                continue  # join keys carry no predicate value
+            values = column.values[sat_rows].astype(np.float64)
+            columns[column.name] = values
+        null_masks[name] = null
+        fanouts[name] = np.maximum(counts[name][sampled_keys], 1).astype(np.int64)
+
+    return FullJoinSample(
+        columns=columns,
+        null_masks=null_masks,
+        fanouts=fanouts,
+        full_join_size=schema.full_join_size(),
+    )

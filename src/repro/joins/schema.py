@@ -1,0 +1,160 @@
+"""Star join schemas and exact join cardinalities (the ground truth).
+
+A :class:`StarSchema` is a hub table whose integer key column is
+referenced by each satellite's foreign-key column. Exact cardinalities of
+(subset) join queries reduce to per-hub-row fanout products, computed
+with ``np.bincount`` — this plays the role Postgres plays in the paper
+(executing queries to label workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.errors import SchemaError
+from repro.joins.query import JoinQuery
+from repro.query.query import Query
+
+
+@dataclass
+class Satellite:
+    """A table joined to the hub via ``fk_column`` = hub key."""
+
+    table: Table
+    fk_column: str
+
+
+class StarSchema:
+    """Hub + satellites with dense integer hub keys ``0..H-1``."""
+
+    def __init__(self, hub: Table, hub_key: str, satellites: list[Satellite]):
+        self.hub = hub
+        self.hub_key = hub_key
+        self.satellites = satellites
+
+        keys = hub[hub_key].values
+        expected = np.arange(hub.num_rows)
+        if not np.array_equal(np.sort(keys), expected):
+            raise SchemaError(
+                f"hub key {hub_key!r} must be a dense permutation of 0..{hub.num_rows - 1}"
+            )
+        self._key_position = np.empty(hub.num_rows, dtype=np.int64)
+        self._key_position[keys.astype(np.int64)] = np.arange(hub.num_rows)
+
+        names = set(hub.column_names)
+        for satellite in satellites:
+            fk = satellite.table[satellite.fk_column].values
+            if fk.min() < 0 or fk.max() >= hub.num_rows:
+                raise SchemaError(
+                    f"{satellite.table.name}.{satellite.fk_column} has dangling keys"
+                )
+            overlap = names & set(satellite.table.column_names)
+            if overlap:
+                raise SchemaError(f"duplicate column names across tables: {overlap}")
+            names |= set(satellite.table.column_names)
+
+    # ------------------------------------------------------------------
+    @property
+    def tables(self) -> dict[str, Table]:
+        out = {self.hub.name: self.hub}
+        for satellite in self.satellites:
+            out[satellite.table.name] = satellite.table
+        return out
+
+    @property
+    def root(self) -> str:
+        """Common schema interface (shared with TreeSchema)."""
+        return self.hub.name
+
+    def join_key_columns(self) -> set[str]:
+        keys = {self.hub_key}
+        keys.update(s.fk_column for s in self.satellites)
+        return keys
+
+    def validate_subset(self, tables: frozenset[str]) -> None:
+        known = set(self.tables)
+        unknown = tables - known
+        if unknown:
+            from repro.errors import QueryError
+
+            raise QueryError(f"unknown tables in join query: {sorted(unknown)}")
+        if self.hub.name not in tables:
+            from repro.errors import QueryError
+
+            raise QueryError(f"join queries must include the hub table {self.hub.name!r}")
+
+    def member_tables(self) -> list[str]:
+        """Non-root tables in sampling order."""
+        return [s.table.name for s in self.satellites]
+
+    def boundary_tables(self, tables: frozenset[str]) -> list[str]:
+        """Members outside the subset whose fanout must be divided out."""
+        return [name for name in self.member_tables() if name not in tables]
+
+    def sample(self, m: int, seed=None):
+        """Common interface: Exact-Weight full-outer-join sample."""
+        from repro.joins.sampler import sample_full_join
+
+        return sample_full_join(self, m, seed=seed)
+
+    def table_of_column(self, column: str) -> str:
+        for name, table in self.tables.items():
+            if column in table:
+                return name
+        raise SchemaError(f"no table contains column {column!r}")
+
+    # ------------------------------------------------------------------
+    def fanout_counts(self, satellite: Satellite, mask: np.ndarray | None = None) -> np.ndarray:
+        """(H,) number of satellite rows matching each hub key.
+
+        ``mask`` optionally restricts to satellite rows satisfying some
+        predicate (used by the exact executor).
+        """
+        fk = satellite.table[satellite.fk_column].values.astype(np.int64)
+        if mask is not None:
+            fk = fk[mask]
+        return np.bincount(fk, minlength=self.hub.num_rows)
+
+    def full_join_size(self) -> int:
+        """Rows of the full outer join: sum_h prod_i max(c_i(h), 1)."""
+        weights = self.full_join_weights()
+        return int(weights.sum())
+
+    def full_join_weights(self) -> np.ndarray:
+        """(H,) per-hub-key full-join multiplicities (Exact-Weight)."""
+        weights = np.ones(self.hub.num_rows, dtype=np.float64)
+        for satellite in self.satellites:
+            weights *= np.maximum(self.fanout_counts(satellite), 1)
+        return weights
+
+    # ------------------------------------------------------------------
+    def true_cardinality(self, join_query: JoinQuery) -> int:
+        """Exact inner-join cardinality over the query's table subset.
+
+        ``card = sum over hub rows passing the hub predicates of the
+        product over joined satellites of that row's predicate-filtered
+        fanout``.
+        """
+        join_query.validate(self)
+        hub_mask = np.ones(self.hub.num_rows, dtype=bool)
+        for predicate in join_query.query:
+            if self.table_of_column(predicate.column) == self.hub.name:
+                hub_mask &= predicate.evaluate(self.hub[predicate.column].values)
+
+        keys = self.hub[self.hub_key].values.astype(np.int64)
+        product = hub_mask.astype(np.float64)
+        for satellite in self.satellites:
+            name = satellite.table.name
+            if name not in join_query.tables:
+                continue
+            sat_mask = np.ones(satellite.table.num_rows, dtype=bool)
+            for predicate in join_query.query:
+                if self.table_of_column(predicate.column) == name:
+                    sat_mask &= predicate.evaluate(
+                        satellite.table[predicate.column].values
+                    )
+            product = product * self.fanout_counts(satellite, sat_mask)[keys]
+        return int(round(product.sum()))

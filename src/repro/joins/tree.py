@@ -1,0 +1,273 @@
+"""Tree-structured join schemas (generalising the star to JOB-style chains).
+
+A :class:`TreeSchema` is a rooted tree of tables: every non-root table
+joins its parent through one equi-join edge. Stars are depth-1 trees;
+JOB's ``title <- movie_companies -> company`` chains are depth-2.
+
+The Exact-Weight machinery generalises cleanly:
+
+- bottom-up **subtree weights**: a row of table t appears in
+  ``w(row) = prod_{child edges} max(A_child(key), 1)`` full-join rows,
+  where ``A_child(key)`` sums the subtree weights of the child rows
+  matching ``key``;
+- top-down **sampling**: the root row is drawn proportionally to its
+  weight; each child row is drawn within its key group proportionally to
+  *its* subtree weight (or NULL-padded when no child matches); NULL
+  propagates to the whole subtree;
+- **fanout scaling**: a query over a connected subset S containing the
+  root multiplies out, per boundary edge (parent in S, child not), the
+  child's subtree weight — so the per-table fanout column stores
+  ``max(A_child(key), 1)`` and NeuroCard's division applies unchanged.
+
+Exact cardinalities of subset queries come from the same recursion with
+predicate-filtered counts, giving the ground truth for tree workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.errors import QueryError, SchemaError
+from repro.joins.query import JoinQuery
+from repro.joins.sampler import FullJoinSample
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class TreeEdge:
+    """Equi-join edge: ``parent.parent_key = child.child_key``."""
+
+    parent: str
+    parent_key: str
+    child: str
+    child_key: str
+
+
+class TreeSchema:
+    """A rooted tree of tables joined along :class:`TreeEdge`s."""
+
+    def __init__(self, tables: dict[str, Table], root: str, edges: list[TreeEdge]):
+        self.tables = dict(tables)
+        self.root = root
+        self.edges = list(edges)
+        if root not in self.tables:
+            raise SchemaError(f"root table {root!r} not in schema")
+
+        self.parent_edge: dict[str, TreeEdge] = {}
+        self.children: dict[str, list[TreeEdge]] = {name: [] for name in self.tables}
+        for edge in self.edges:
+            if edge.parent not in self.tables or edge.child not in self.tables:
+                raise SchemaError(f"edge {edge} references unknown tables")
+            if edge.child in self.parent_edge:
+                raise SchemaError(f"table {edge.child!r} has two parents (not a tree)")
+            if edge.child == root:
+                raise SchemaError("the root cannot be a child")
+            self.parent_edge[edge.child] = edge
+            self.children[edge.parent].append(edge)
+
+        reached = {root}
+        frontier = [root]
+        while frontier:
+            current = frontier.pop()
+            for edge in self.children[current]:
+                if edge.child in reached:
+                    raise SchemaError("join graph contains a cycle")
+                reached.add(edge.child)
+                frontier.append(edge.child)
+        missing = set(self.tables) - reached
+        if missing:
+            raise SchemaError(f"tables disconnected from the root: {sorted(missing)}")
+
+        names: set[str] = set()
+        for table in self.tables.values():
+            overlap = names & set(table.column_names)
+            if overlap:
+                raise SchemaError(f"duplicate column names across tables: {overlap}")
+            names |= set(table.column_names)
+
+        self._order = self._topological_order()
+
+    def _topological_order(self) -> list[str]:
+        """Tables in BFS order from the root (parents before children)."""
+        order, frontier = [self.root], [self.root]
+        while frontier:
+            current = frontier.pop(0)
+            for edge in self.children[current]:
+                order.append(edge.child)
+                frontier.append(edge.child)
+        return order
+
+    # ------------------------------------------------------------------
+    def table_of_column(self, column: str) -> str:
+        for name, table in self.tables.items():
+            if column in table:
+                return name
+        raise SchemaError(f"no table contains column {column!r}")
+
+    def join_key_columns(self) -> set[str]:
+        keys = set()
+        for edge in self.edges:
+            keys.add(edge.parent_key)
+            keys.add(edge.child_key)
+        return keys
+
+    def member_tables(self) -> list[str]:
+        """Non-root tables, parents before children."""
+        return [name for name in self._order if name != self.root]
+
+    def boundary_tables(self, tables: frozenset[str]) -> list[str]:
+        """Excluded tables whose parent is included: exactly the edges
+        whose subtree-weight fanout the estimator divides out."""
+        out = []
+        for name in self.member_tables():
+            if name in tables:
+                continue
+            if self.parent_edge[name].parent in tables:
+                out.append(name)
+        return out
+
+    def validate_subset(self, tables: frozenset[str]) -> None:
+        """Subset must contain the root and be closed under parents."""
+        if self.root not in tables:
+            raise QueryError(f"join subsets must include the root {self.root!r}")
+        for name in tables:
+            if name == self.root:
+                continue
+            if name not in self.parent_edge:
+                raise QueryError(f"unknown table {name!r}")
+            if self.parent_edge[name].parent not in tables:
+                raise QueryError(
+                    f"subset {sorted(tables)} is not connected: {name!r} without its parent"
+                )
+
+    # ------------------------------------------------------------------
+    # Subtree weights (Exact-Weight, bottom-up)
+    # ------------------------------------------------------------------
+    def _subtree_weights(
+        self, masks: dict[str, np.ndarray] | None = None
+    ) -> dict[str, np.ndarray]:
+        """Per-row subtree weights; with ``masks``, predicate-filtered
+        *counts* instead (rows failing their mask weigh 0)."""
+        weights: dict[str, np.ndarray] = {}
+        for name in reversed(self._order):
+            table = self.tables[name]
+            w = np.ones(table.num_rows, dtype=np.float64)
+            if masks is not None:
+                w *= masks.get(name, np.ones(table.num_rows, dtype=bool))
+            for edge in self.children[name]:
+                child_sum = self._aggregate_child(edge, weights[edge.child])
+                parent_keys = table[edge.parent_key].values.astype(np.int64)
+                contributions = child_sum[parent_keys]
+                if masks is None:
+                    contributions = np.maximum(contributions, 1.0)  # NULL pad
+                w *= contributions
+            weights[name] = w
+        return weights
+
+    def _aggregate_child(self, edge: TreeEdge, child_weights: np.ndarray) -> np.ndarray:
+        child = self.tables[edge.child]
+        keys = child[edge.child_key].values.astype(np.int64)
+        size = self._key_space(edge)
+        return np.bincount(keys, weights=child_weights, minlength=size)
+
+    def _key_space(self, edge: TreeEdge) -> int:
+        parent_max = int(self.tables[edge.parent][edge.parent_key].values.max())
+        child = self.tables[edge.child]
+        child_max = int(child[edge.child_key].values.max()) if child.num_rows else 0
+        return max(parent_max, child_max) + 1
+
+    # ------------------------------------------------------------------
+    def full_join_size(self) -> int:
+        return int(round(self._subtree_weights()[self.root].sum()))
+
+    def true_cardinality(self, join_query: JoinQuery) -> int:
+        """Exact inner-join cardinality over the query's table subset."""
+        self.validate_subset(join_query.tables)
+        masks: dict[str, np.ndarray] = {}
+        for name in join_query.tables:
+            table = self.tables[name]
+            mask = np.ones(table.num_rows, dtype=bool)
+            for predicate in join_query.query:
+                if predicate.column in table:
+                    mask &= predicate.evaluate(table[predicate.column].values)
+            masks[name] = mask
+        counts: dict[str, np.ndarray] = {}
+        for name in reversed(self._order):
+            if name not in join_query.tables:
+                continue
+            table = self.tables[name]
+            c = masks[name].astype(np.float64)
+            for edge in self.children[name]:
+                if edge.child not in join_query.tables:
+                    continue
+                child_sum = self._aggregate_child(edge, counts[edge.child])
+                c *= child_sum[table[edge.parent_key].values.astype(np.int64)]
+            counts[name] = c
+        return int(round(counts[self.root].sum()))
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, m: int, seed=None) -> FullJoinSample:
+        """Draw ``m`` uniform full-outer-join rows (Exact-Weight)."""
+        rng = ensure_rng(seed)
+        weights = self._subtree_weights()
+
+        columns: dict[str, np.ndarray] = {}
+        null_masks: dict[str, np.ndarray] = {}
+        fanouts: dict[str, np.ndarray] = {}
+        sampled_rows: dict[str, np.ndarray] = {}
+        key_columns = self.join_key_columns()
+
+        root_w = weights[self.root]
+        root_rows = rng.choice(len(root_w), size=m, p=root_w / root_w.sum())
+        sampled_rows[self.root] = root_rows
+        parent_null = {self.root: np.zeros(m, dtype=bool)}
+
+        for name in self._order:
+            table = self.tables[name]
+            rows = sampled_rows[name]
+            is_null = parent_null[name]
+            for column in table.columns:
+                if column.name in key_columns:
+                    continue
+                columns[column.name] = column.values[rows].astype(np.float64)
+            if name != self.root:
+                null_masks[name] = is_null
+
+            for edge in self.children[name]:
+                child = self.tables[edge.child]
+                child_w = weights[edge.child]
+                child_keys = child[edge.child_key].values.astype(np.int64)
+                order = np.argsort(child_keys, kind="stable")
+                sorted_keys = child_keys[order]
+                sorted_w = child_w[order]
+                cumulative = np.concatenate([[0.0], np.cumsum(sorted_w)])
+                agg = self._aggregate_child(edge, child_w)
+
+                parent_keys = table[edge.parent_key].values.astype(np.int64)[rows]
+                totals = agg[parent_keys]
+                child_null = is_null | (totals <= 0)
+
+                starts = np.searchsorted(sorted_keys, parent_keys, side="left")
+                ends = np.searchsorted(sorted_keys, parent_keys, side="right")
+                span_lo = cumulative[starts]
+                span_hi = cumulative[ends]
+                draws = span_lo + rng.random(m) * np.maximum(span_hi - span_lo, 0.0)
+                picks = np.searchsorted(cumulative, draws, side="right") - 1
+                picks = np.clip(picks, starts, np.maximum(ends - 1, 0))
+                child_rows = order[np.where(child_null, 0, picks)]
+
+                sampled_rows[edge.child] = child_rows
+                parent_null[edge.child] = child_null
+                fanouts[edge.child] = np.maximum(totals, 1.0).astype(np.int64)
+
+        return FullJoinSample(
+            columns=columns,
+            null_masks=null_masks,
+            fanouts=fanouts,
+            full_join_size=self.full_join_size(),
+        )

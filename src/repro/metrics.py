@@ -1,0 +1,74 @@
+"""Evaluation metrics: the q-error and its quantile summaries.
+
+The paper reports ``error(q) = max(actsel/estsel, estsel/actsel)`` with
+both selectivities floored at 1/|T| (Section 6.1.3, "Evaluation
+Metrics"), summarised by mean / median / 95th / 99th / max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def clamp_selectivity(value: float, n_rows: int) -> float:
+    """Clamp a selectivity into [1/n_rows, 1] as the paper's metric assumes."""
+    return float(min(max(value, 1.0 / n_rows), 1.0))
+
+
+def q_error(actual: float, estimate: float, floor: float = 0.0) -> float:
+    """q-error of one estimate; both inputs clamped to ``floor``."""
+    a = max(actual, floor)
+    e = max(estimate, floor)
+    if a <= 0 or e <= 0:
+        raise ValueError("q-error requires positive selectivities (set a floor)")
+    return max(a / e, e / a)
+
+
+def q_errors(
+    actual: np.ndarray, estimates: np.ndarray, n_rows: int | None = None
+) -> np.ndarray:
+    """Vectorised q-errors; with ``n_rows`` both sides floor at 1/n_rows."""
+    actual = np.asarray(actual, dtype=np.float64)
+    estimates = np.asarray(estimates, dtype=np.float64)
+    floor = 1.0 / n_rows if n_rows else np.finfo(np.float64).tiny
+    a = np.maximum(actual, floor)
+    e = np.maximum(estimates, floor)
+    return np.maximum(a / e, e / a)
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """The five statistics every accuracy table in the paper reports."""
+
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_errors(cls, errors: np.ndarray) -> "ErrorSummary":
+        errors = np.asarray(errors, dtype=np.float64)
+        return cls(
+            mean=float(errors.mean()),
+            median=float(np.quantile(errors, 0.5)),
+            p95=float(np.quantile(errors, 0.95)),
+            p99=float(np.quantile(errors, 0.99)),
+            max=float(errors.max()),
+        )
+
+    def as_row(self) -> list[float]:
+        return [self.mean, self.median, self.p95, self.p99, self.max]
+
+    def __str__(self) -> str:
+        return (
+            f"mean={self.mean:.3g} median={self.median:.3g} "
+            f"95th={self.p95:.3g} 99th={self.p99:.3g} max={self.max:.3g}"
+        )
+
+
+def summarize(actual: np.ndarray, estimates: np.ndarray, n_rows: int) -> ErrorSummary:
+    """One-call q-error summary with the paper's 1/|T| floor."""
+    return ErrorSummary.from_errors(q_errors(actual, estimates, n_rows))

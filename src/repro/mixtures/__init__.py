@@ -1,0 +1,45 @@
+"""Gaussian mixture models for fitting continuous attributes.
+
+The paper (Section 4.2) fits **one GMM per continuous attribute**, trained
+by SGD on the negative log-likelihood so it can share the mini-batch loop
+with the AR model, initialised by a variational Bayesian GMM which also
+chooses the number of components. This package provides:
+
+- :class:`GaussianMixture1D` — the frozen parameter container with
+  responsibilities, argmax assignment, sampling, and interval masses;
+- :func:`fit_em` — classic EM (used by tests and as a baseline init);
+- :class:`VariationalGMM` — Bishop-style VB inference used to select K;
+- :class:`SGDGaussianMixture` — the trainable module (Equation 4 loss);
+- interval-mass estimators (:mod:`repro.mixtures.interval`) used by the
+  unbiased progressive sampler (Section 5.2):
+  Monte-Carlo (the paper's), exact via the normal CDF, and empirical
+  per-component fractions (exactly Theorem 5.1's quantity).
+"""
+
+from repro.mixtures.base import GaussianMixture1D
+from repro.mixtures.em import fit_em
+from repro.mixtures.mvdiag import DiagGaussianMixture, fit_diag_em
+from repro.mixtures.vbgmm import VariationalGMM, select_components
+from repro.mixtures.sgd_gmm import SGDGaussianMixture
+from repro.mixtures.interval import (
+    EmpiricalIntervalMass,
+    ExactIntervalMass,
+    IntervalMassEstimator,
+    MonteCarloIntervalMass,
+    make_interval_estimator,
+)
+
+__all__ = [
+    "GaussianMixture1D",
+    "fit_em",
+    "DiagGaussianMixture",
+    "fit_diag_em",
+    "VariationalGMM",
+    "select_components",
+    "SGDGaussianMixture",
+    "IntervalMassEstimator",
+    "MonteCarloIntervalMass",
+    "ExactIntervalMass",
+    "EmpiricalIntervalMass",
+    "make_interval_estimator",
+]

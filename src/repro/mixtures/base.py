@@ -1,0 +1,169 @@
+"""Frozen 1-D Gaussian mixture: the inference-side representation.
+
+Training lives elsewhere (:mod:`repro.mixtures.em`,
+:mod:`repro.mixtures.sgd_gmm`); this class is what the rest of the system
+consumes: responsibilities, argmax component assignment (Equation 5),
+sampling, and exact interval masses via the normal CDF.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.special import erf
+
+from repro.errors import ConfigError
+from repro.utils.rng import ensure_rng
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+def normal_log_pdf(x: np.ndarray, mean: np.ndarray, var: np.ndarray) -> np.ndarray:
+    """Log density of N(mean, var) evaluated at x (broadcasting)."""
+    return -0.5 * (_LOG_2PI + np.log(var) + (x - mean) ** 2 / var)
+
+
+def normal_cdf(x: np.ndarray, mean: np.ndarray, var: np.ndarray) -> np.ndarray:
+    """CDF of N(mean, var) at x (broadcasting)."""
+    return 0.5 * (1.0 + erf((x - mean) / np.sqrt(2.0 * var)))
+
+
+@dataclass
+class GaussianMixture1D:
+    """A 1-D Gaussian mixture with K components.
+
+    Attributes
+    ----------
+    weights : (K,) mixing proportions, sum to 1.
+    means : (K,) component means.
+    variances : (K,) component variances (> 0).
+    """
+
+    weights: np.ndarray
+    means: np.ndarray
+    variances: np.ndarray
+    _order: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        self.means = np.asarray(self.means, dtype=np.float64)
+        self.variances = np.asarray(self.variances, dtype=np.float64)
+        k = self.weights.shape[0]
+        if self.means.shape != (k,) or self.variances.shape != (k,):
+            raise ConfigError(
+                f"inconsistent GMM parameter shapes: weights {self.weights.shape}, "
+                f"means {self.means.shape}, variances {self.variances.shape}"
+            )
+        if np.any(self.variances <= 0):
+            raise ConfigError("GMM variances must be strictly positive")
+        if np.any(self.weights < 0) or not np.isclose(self.weights.sum(), 1.0, atol=1e-6):
+            raise ConfigError("GMM weights must be a probability vector")
+        # Canonical component order: ascending means. Keeping components
+        # sorted makes the reduced attribute's encoding order-stable, which
+        # helps the AR model and makes serialized models comparable.
+        self._order = np.argsort(self.means)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_components(self) -> int:
+        return int(self.weights.shape[0])
+
+    def sorted_by_mean(self) -> "GaussianMixture1D":
+        """Return an equivalent mixture with components sorted by mean."""
+        order = self._order
+        return GaussianMixture1D(self.weights[order], self.means[order], self.variances[order])
+
+    # ------------------------------------------------------------------
+    # Densities
+    # ------------------------------------------------------------------
+    def component_log_joint(self, x: np.ndarray) -> np.ndarray:
+        """(N, K) array of ``log(weight_k) + log N(x | mu_k, var_k)``."""
+        x = np.asarray(x, dtype=np.float64).reshape(-1, 1)
+        with np.errstate(divide="ignore"):
+            log_w = np.log(self.weights)
+        return log_w[None, :] + normal_log_pdf(x, self.means[None, :], self.variances[None, :])
+
+    def log_prob(self, x: np.ndarray) -> np.ndarray:
+        """(N,) mixture log density."""
+        joint = self.component_log_joint(x)
+        m = joint.max(axis=1, keepdims=True)
+        return (m + np.log(np.exp(joint - m).sum(axis=1, keepdims=True))).reshape(-1)
+
+    def responsibilities(self, x: np.ndarray) -> np.ndarray:
+        """(N, K) posterior p(component | x)."""
+        joint = self.component_log_joint(x)
+        m = joint.max(axis=1, keepdims=True)
+        e = np.exp(joint - m)
+        return e / e.sum(axis=1, keepdims=True)
+
+    # ------------------------------------------------------------------
+    # Assignment (Equation 5: argmax of weight_k * N(x | mu_k, var_k))
+    # ------------------------------------------------------------------
+    def assign(self, x: np.ndarray) -> np.ndarray:
+        """(N,) argmax-responsibility component index for each value."""
+        return np.argmax(self.component_log_joint(x), axis=1)
+
+    def assign_sampled(self, x: np.ndarray, rng=None) -> np.ndarray:
+        """(N,) component index sampled from the responsibilities.
+
+        The alternative assignment strategy the paper discusses (and
+        rejects) in Section 4.2; kept for the ablation benchmark.
+        """
+        rng = ensure_rng(rng)
+        resp = self.responsibilities(x)
+        cdf = np.cumsum(resp, axis=1)
+        u = rng.uniform(size=(len(resp), 1))
+        return (u > cdf).sum(axis=1)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, n: int, rng=None) -> np.ndarray:
+        """Draw n values from the mixture."""
+        rng = ensure_rng(rng)
+        comps = rng.choice(self.n_components, size=n, p=self.weights)
+        return rng.normal(self.means[comps], np.sqrt(self.variances[comps]))
+
+    def sample_component(self, component: int, n: int, rng=None) -> np.ndarray:
+        """Draw n values from a single component."""
+        rng = ensure_rng(rng)
+        return rng.normal(self.means[component], math.sqrt(self.variances[component]), size=n)
+
+    # ------------------------------------------------------------------
+    # Interval masses (exact)
+    # ------------------------------------------------------------------
+    def component_interval_mass(self, low: float, high: float) -> np.ndarray:
+        """(K,) exact probability that each component puts in [low, high]."""
+        if high < low:
+            return np.zeros(self.n_components)
+        upper = normal_cdf(np.float64(high), self.means, self.variances)
+        lower = normal_cdf(np.float64(low), self.means, self.variances)
+        return np.clip(upper - lower, 0.0, 1.0)
+
+    def interval_mass(self, low: float, high: float) -> float:
+        """Exact mixture probability of [low, high]."""
+        return float(self.weights @ self.component_interval_mass(low, high))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "weights": self.weights.tolist(),
+            "means": self.means.tolist(),
+            "variances": self.variances.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GaussianMixture1D":
+        return cls(
+            np.asarray(payload["weights"]),
+            np.asarray(payload["means"]),
+            np.asarray(payload["variances"]),
+        )
+
+    def size_bytes(self) -> int:
+        """Storage footprint: 3 float32 vectors of length K."""
+        return 3 * self.n_components * 4

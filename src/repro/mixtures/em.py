@@ -1,0 +1,92 @@
+"""Classic expectation-maximisation for 1-D Gaussian mixtures.
+
+The paper explains why EM is *not* used inside IAM (its M-step needs full
+passes, which cannot share the mini-batch SGD loop with the AR model), but
+EM remains the reference fitter: tests validate the SGD-GMM against it and
+the VBGMM initialiser falls back to a k-means++-style seeding that EM also
+uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.mixtures.base import GaussianMixture1D
+from repro.utils.rng import ensure_rng
+
+_MIN_VARIANCE = 1e-10
+
+
+def kmeans_pp_centers(x: np.ndarray, k: int, rng=None) -> np.ndarray:
+    """k-means++ seeding for initial component means."""
+    rng = ensure_rng(rng)
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    centers = [x[rng.integers(len(x))]]
+    for _ in range(1, k):
+        d2 = np.min((x[:, None] - np.asarray(centers)[None, :]) ** 2, axis=1)
+        total = d2.sum()
+        if total <= 0:
+            centers.append(x[rng.integers(len(x))])
+            continue
+        probs = d2 / total
+        centers.append(x[rng.choice(len(x), p=probs)])
+    return np.asarray(centers)
+
+
+def init_params(x: np.ndarray, k: int, rng=None) -> GaussianMixture1D:
+    """Initial GMM: k-means++ means, global variance, uniform weights."""
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    if k < 1:
+        raise ConfigError(f"number of components must be >= 1, got {k}")
+    if len(x) < k:
+        raise ConfigError(f"need at least k={k} points, got {len(x)}")
+    means = kmeans_pp_centers(x, k, rng=rng)
+    var = max(float(np.var(x)) / k, _MIN_VARIANCE)
+    return GaussianMixture1D(np.full(k, 1.0 / k), means, np.full(k, var))
+
+
+def fit_em(
+    x: np.ndarray,
+    n_components: int,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+    rng=None,
+    init: GaussianMixture1D | None = None,
+) -> GaussianMixture1D:
+    """Fit a 1-D GMM by EM; returns the mixture sorted by mean.
+
+    Convergence criterion: relative change of the mean log-likelihood.
+    Degenerate (empty / zero-variance) components are re-inflated with the
+    global variance so the algorithm cannot collapse.
+    """
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    rng = ensure_rng(rng)
+    model = init if init is not None else init_params(x, n_components, rng=rng)
+    weights = model.weights.copy()
+    means = model.means.copy()
+    variances = model.variances.copy()
+    global_var = max(float(np.var(x)), _MIN_VARIANCE)
+
+    previous_ll = -np.inf
+    for _ in range(max_iter):
+        mixture = GaussianMixture1D(weights, means, variances)
+        resp = mixture.responsibilities(x)  # E step
+        nk = resp.sum(axis=0)
+
+        # M step with degeneracy guards.
+        empty = nk < 1e-8
+        nk_safe = np.where(empty, 1.0, nk)
+        weights = nk / len(x)
+        weights = np.clip(weights, 1e-12, None)
+        weights /= weights.sum()
+        means = np.where(empty, means, (resp * x[:, None]).sum(axis=0) / nk_safe)
+        variances = (resp * (x[:, None] - means[None, :]) ** 2).sum(axis=0) / nk_safe
+        variances = np.where(empty, global_var, np.maximum(variances, _MIN_VARIANCE))
+
+        ll = float(GaussianMixture1D(weights, means, variances).log_prob(x).mean())
+        if abs(ll - previous_ll) < tol * max(abs(previous_ll), 1.0):
+            break
+        previous_ll = ll
+
+    return GaussianMixture1D(weights, means, variances).sorted_by_mean()

@@ -1,0 +1,151 @@
+"""Diagonal-covariance multivariate Gaussian mixtures.
+
+Supports the paper's Section 4.2 design discussion: fitting *multiple*
+attributes with *one* GMM. The paper rejects this (O(n²) covariance
+memory with full covariances; no observed accuracy gain); this diagonal
+implementation lets the repository reproduce the comparison as an
+ablation (see :class:`repro.estimators.multigmm.IAMMultiGMM`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import erf
+
+from repro.errors import ConfigError
+from repro.utils.rng import ensure_rng
+
+_LOG_2PI = math.log(2.0 * math.pi)
+_MIN_VARIANCE = 1e-10
+
+
+@dataclass
+class DiagGaussianMixture:
+    """K diagonal-covariance Gaussian components over D dimensions."""
+
+    weights: np.ndarray  # (K,)
+    means: np.ndarray  # (K, D)
+    variances: np.ndarray  # (K, D)
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        self.means = np.asarray(self.means, dtype=np.float64)
+        self.variances = np.asarray(self.variances, dtype=np.float64)
+        k = len(self.weights)
+        if self.means.shape[0] != k or self.variances.shape != self.means.shape:
+            raise ConfigError("inconsistent multivariate GMM parameter shapes")
+        if np.any(self.variances <= 0):
+            raise ConfigError("variances must be strictly positive")
+        if not np.isclose(self.weights.sum(), 1.0, atol=1e-6):
+            raise ConfigError("weights must sum to 1")
+
+    @property
+    def n_components(self) -> int:
+        return len(self.weights)
+
+    @property
+    def n_dims(self) -> int:
+        return self.means.shape[1]
+
+    # ------------------------------------------------------------------
+    def component_log_joint(self, x: np.ndarray) -> np.ndarray:
+        """(N, K) log(w_k) + log N(x | mu_k, diag var_k)."""
+        x = np.asarray(x, dtype=np.float64)
+        diff = x[:, None, :] - self.means[None, :, :]
+        quad = (diff**2 / self.variances[None, :, :]).sum(axis=2)
+        log_det = np.log(self.variances).sum(axis=1)
+        with np.errstate(divide="ignore"):
+            log_w = np.log(self.weights)
+        return log_w[None, :] - 0.5 * (self.n_dims * _LOG_2PI + log_det[None, :] + quad)
+
+    def log_prob(self, x: np.ndarray) -> np.ndarray:
+        joint = self.component_log_joint(x)
+        m = joint.max(axis=1, keepdims=True)
+        return (m + np.log(np.exp(joint - m).sum(axis=1, keepdims=True))).reshape(-1)
+
+    def responsibilities(self, x: np.ndarray) -> np.ndarray:
+        joint = self.component_log_joint(x)
+        m = joint.max(axis=1, keepdims=True)
+        e = np.exp(joint - m)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def assign(self, x: np.ndarray) -> np.ndarray:
+        """(N,) argmax-responsibility component index (Equation 5 in D-d)."""
+        return np.argmax(self.component_log_joint(x), axis=1)
+
+    def sample(self, n: int, rng=None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        comps = rng.choice(self.n_components, size=n, p=self.weights)
+        return rng.normal(self.means[comps], np.sqrt(self.variances[comps]))
+
+    # ------------------------------------------------------------------
+    def component_box_mass(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """(K,) exact probability each component puts in an axis box.
+
+        Diagonal covariance factorises the box probability into per-dim
+        CDF differences.
+        """
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        sd = np.sqrt(self.variances)
+        upper = 0.5 * (1.0 + erf((highs[None, :] - self.means) / (sd * math.sqrt(2))))
+        lower = 0.5 * (1.0 + erf((lows[None, :] - self.means) / (sd * math.sqrt(2))))
+        per_dim = np.clip(upper - lower, 0.0, 1.0)
+        return per_dim.prod(axis=1)
+
+
+def fit_diag_em(
+    x: np.ndarray,
+    n_components: int,
+    max_iter: int = 60,
+    tol: float = 1e-5,
+    rng=None,
+) -> DiagGaussianMixture:
+    """EM for a diagonal multivariate GMM (k-means++-style seeding)."""
+    rng = ensure_rng(rng)
+    x = np.asarray(x, dtype=np.float64)
+    n, d = x.shape
+    if n < n_components:
+        raise ConfigError(f"need at least k={n_components} rows, got {n}")
+
+    # Seeding: farthest-point-ish in standardised space.
+    std = x.std(axis=0)
+    std[std == 0] = 1.0
+    z = (x - x.mean(axis=0)) / std
+    centers = [z[rng.integers(n)]]
+    for _ in range(1, n_components):
+        d2 = np.min(
+            ((z[:, None, :] - np.asarray(centers)[None, :, :]) ** 2).sum(axis=2), axis=1
+        )
+        total = d2.sum()
+        pick = rng.choice(n, p=d2 / total) if total > 0 else rng.integers(n)
+        centers.append(z[pick])
+    means = np.asarray(centers) * std + x.mean(axis=0)
+    variances = np.tile(np.maximum(x.var(axis=0) / n_components, _MIN_VARIANCE), (n_components, 1))
+    weights = np.full(n_components, 1.0 / n_components)
+    global_var = np.maximum(x.var(axis=0), _MIN_VARIANCE)
+
+    previous = -np.inf
+    for _ in range(max_iter):
+        model = DiagGaussianMixture(weights, means, variances)
+        resp = model.responsibilities(x)
+        nk = resp.sum(axis=0)
+        empty = nk < 1e-8
+        nk_safe = np.where(empty, 1.0, nk)
+        weights = np.clip(nk / n, 1e-12, None)
+        weights /= weights.sum()
+        new_means = (resp.T @ x) / nk_safe[:, None]
+        means = np.where(empty[:, None], means, new_means)
+        diff2 = (x[:, None, :] - means[None, :, :]) ** 2
+        variances = (resp[:, :, None] * diff2).sum(axis=0) / nk_safe[:, None]
+        variances = np.where(
+            empty[:, None], global_var[None, :], np.maximum(variances, _MIN_VARIANCE)
+        )
+        ll = float(DiagGaussianMixture(weights, means, variances).log_prob(x).mean())
+        if abs(ll - previous) < tol * max(abs(previous), 1.0):
+            break
+        previous = ll
+    return DiagGaussianMixture(weights, means, variances)

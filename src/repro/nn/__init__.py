@@ -1,0 +1,46 @@
+"""Neural-network modules and optimizers built on :mod:`repro.autodiff`.
+
+This is the minimal slice of a deep-learning framework needed by the
+paper: plain and masked linear layers (for MADE/ResMADE), embeddings,
+residual blocks, cross-entropy losses, and SGD/Adam optimizers with
+gradient clipping.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear, MaskedLinear
+from repro.nn.embedding import Embedding
+from repro.nn.activation import ReLU, Sigmoid, Tanh
+from repro.nn.container import ModuleList, Sequential
+from repro.nn.blocks import MaskedResidualBlock
+from repro.nn.loss import cross_entropy, mse_loss, nll_loss
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.nn.scheduler import ConstantLR, CosineDecayLR, StepDecayLR
+from repro.nn import init
+from repro.nn.serialization import load_state_dict, save_state_dict
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "MaskedLinear",
+    "Embedding",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Sequential",
+    "ModuleList",
+    "MaskedResidualBlock",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "ConstantLR",
+    "StepDecayLR",
+    "CosineDecayLR",
+    "init",
+    "save_state_dict",
+    "load_state_dict",
+]

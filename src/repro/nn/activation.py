@@ -1,0 +1,22 @@
+"""Activation modules (thin wrappers over autodiff ops)."""
+
+from __future__ import annotations
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu(x)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.sigmoid(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.tanh(x)

@@ -1,0 +1,35 @@
+"""Residual building blocks for ResMADE.
+
+ResMADE (Durkan & Nash, "Autoregressive Energy Machines") replaces MADE's
+plain hidden layers with pre-activation residual blocks of two masked
+linear layers. The residual connection requires equal in/out widths and a
+mask that preserves autoregressive connectivity, which holds when all
+hidden layers share the same degree assignment (see repro.ar.made).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor
+from repro.nn.linear import MaskedLinear
+from repro.nn.module import Module
+
+
+class MaskedResidualBlock(Module):
+    """``x + W2·relu(W1·relu(x))`` with both W masked identically."""
+
+    def __init__(self, features: int, rng=None):
+        super().__init__()
+        self.linear1 = MaskedLinear(features, features, rng=rng)
+        self.linear2 = MaskedLinear(features, features, rng=rng)
+
+    def set_mask(self, mask: np.ndarray) -> None:
+        self.linear1.set_mask(mask)
+        self.linear2.set_mask(mask)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = self.linear1(ops.relu(x))
+        h = self.linear2(ops.relu(h))
+        return x + h

@@ -1,0 +1,58 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self._layers = []
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+            self._layers.append(layer)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+    def forward(self, x):
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+
+class ModuleList(Module):
+    """A list of modules that participates in parameter traversal."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        setattr(self, f"item{len(self._items)}", module)
+        self._items.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers don't forward
+        raise NotImplementedError("ModuleList is a container; call its items directly")

@@ -1,0 +1,25 @@
+"""Embedding lookup layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.ops import embedding
+from repro.autodiff.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import ensure_rng
+
+
+class Embedding(Module):
+    """Map integer ids in ``[0, num_embeddings)`` to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, rng=None):
+        super().__init__()
+        rng = ensure_rng(rng)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng=rng, std=0.1))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return embedding(self.weight, np.asarray(indices))

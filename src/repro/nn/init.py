@@ -1,0 +1,33 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def kaiming_uniform(shape: tuple[int, int], rng=None, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He/Kaiming uniform init for ReLU networks; fan-in from shape[0]."""
+    rng = ensure_rng(rng)
+    fan_in = shape[0]
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape: tuple[int, int], rng=None, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform init; balances fan-in and fan-out."""
+    rng = ensure_rng(rng)
+    fan_in, fan_out = shape
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def normal(shape: tuple[int, ...], rng=None, std: float = 0.02) -> np.ndarray:
+    """Gaussian init, default std matches common embedding practice."""
+    rng = ensure_rng(rng)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)

@@ -1,0 +1,68 @@
+"""Dense and masked-dense layers.
+
+:class:`MaskedLinear` is the building block of MADE (Germain et al.): a
+linear layer whose weight matrix is elementwise-multiplied by a fixed
+binary connectivity mask, enforcing the autoregressive property.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.errors import ShapeError
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import ensure_rng
+
+
+class Linear(Module):
+    """``y = x @ W + b`` with W of shape (in_features, out_features)."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None):
+        super().__init__()
+        rng = ensure_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((in_features, out_features), rng=rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class MaskedLinear(Module):
+    """A linear layer with a fixed binary mask on the weights.
+
+    The mask is stored as plain data (not a Parameter); the effective
+    weight is ``weight * mask`` recomputed every forward pass so gradients
+    are automatically masked too.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None):
+        super().__init__()
+        rng = ensure_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((in_features, out_features), rng=rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+        self.mask = np.ones((in_features, out_features))
+
+    def set_mask(self, mask: np.ndarray) -> None:
+        """Install the connectivity mask (shape must match the weight)."""
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.shape != (self.in_features, self.out_features):
+            raise ShapeError(
+                f"mask shape {mask.shape} != weight shape "
+                f"{(self.in_features, self.out_features)}"
+            )
+        self.mask = mask
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ (self.weight * Tensor(self.mask))
+        if self.bias is not None:
+            out = out + self.bias
+        return out

@@ -1,0 +1,46 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.ops import gather, log_softmax
+from repro.autodiff.tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy with integer targets.
+
+    ``logits``: (batch, classes); ``targets``: (batch,) integer labels.
+    """
+    logp = log_softmax(logits, axis=-1)
+    picked = gather(logp, np.asarray(targets, dtype=np.int64), axis=-1)
+    loss = -picked.reshape(-1)
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood from already-log-normalized inputs."""
+    picked = gather(log_probs, np.asarray(targets, dtype=np.int64), axis=-1)
+    loss = -picked.reshape(-1)
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def mse_loss(pred: Tensor, target, reduction: str = "mean") -> Tensor:
+    """Mean squared error."""
+    target = Tensor.ensure(target)
+    diff = pred - target
+    loss = diff * diff
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss

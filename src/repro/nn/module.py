@@ -1,0 +1,119 @@
+"""`Module` / `Parameter`: the composition layer of the NN substrate.
+
+A :class:`Module` automatically registers any :class:`Parameter` or child
+``Module`` assigned as an attribute, so ``parameters()`` and
+``state_dict()`` walk the whole tree — the same contract as
+``torch.nn.Module`` reduced to what this project needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor (``requires_grad=True`` by construction)."""
+
+    __slots__ = ()
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses define ``forward`` and assign parameters / submodules as
+    attributes in ``__init__``. ``__call__`` forwards to ``forward``.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters in the tree."""
+        return sum(p.size for p in self.parameters())
+
+    def size_bytes(self) -> int:
+        """Serialized size of the parameters (float32, as in the paper's
+        model-size tables)."""
+        return sum(p.size * 4 for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Train / eval mode
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # Gradients
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise KeyError(
+                    f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.astype(param.data.dtype, copy=True)
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

@@ -1,0 +1,53 @@
+"""Learning-rate schedules (epoch-granularity, matching the paper's setup)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+
+class _Scheduler:
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self._lr_at(self.epoch)
+
+    def _lr_at(self, epoch: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ConstantLR(_Scheduler):
+    """Fixed learning rate; exists so training loops can be schedule-agnostic."""
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepDecayLR(_Scheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineDecayLR(_Scheduler):
+    """Cosine annealing from base LR to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        self.total_epochs = max(total_epochs, 1)
+        self.min_lr = min_lr
+
+    def _lr_at(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + math.cos(math.pi * progress))

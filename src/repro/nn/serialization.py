@@ -1,0 +1,21 @@
+"""Save / load module state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state_dict(module: Module, path: str | os.PathLike) -> None:
+    """Persist a module's parameters to ``path`` (npz)."""
+    state = module.state_dict()
+    np.savez(path, **state)
+
+
+def load_state_dict(module: Module, path: str | os.PathLike) -> None:
+    """Restore parameters saved by :func:`save_state_dict`."""
+    with np.load(path) as archive:
+        module.load_state_dict({name: archive[name] for name in archive.files})

@@ -1,0 +1,29 @@
+"""A Selinger-style query-optimizer simulator for the end-to-end
+experiment (paper Section 6.4 / Figure 5).
+
+The paper modifies Postgres to accept external selectivity estimates and
+measures end-to-end query time per estimator. This package plays that
+role: a dynamic-programming join-order optimizer whose cost model is fed
+by any estimator's sub-join cardinalities, plus a real hash-join executor
+whose wall-clock time depends on the chosen plan's intermediate sizes —
+exactly the mechanism through which estimation accuracy translates
+(partially) into runtime, including the paper's two caveats: different
+estimates can yield the same plan, and different plans can cost the same.
+"""
+
+from repro.optimizer.plans import JoinPlan, enumerate_plans
+from repro.optimizer.cost import estimated_plan_cost, true_plan_cost
+from repro.optimizer.dp import choose_plan
+from repro.optimizer.executor import execute_plan
+from repro.optimizer.endtoend import EndToEndResult, run_end_to_end
+
+__all__ = [
+    "JoinPlan",
+    "enumerate_plans",
+    "estimated_plan_cost",
+    "true_plan_cost",
+    "choose_plan",
+    "execute_plan",
+    "EndToEndResult",
+    "run_end_to_end",
+]

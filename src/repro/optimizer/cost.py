@@ -1,0 +1,59 @@
+"""Plan cost model: C_out — the sum of intermediate result cardinalities.
+
+The standard cost metric for join-order quality (used e.g. by Leis et
+al.'s "How good are query optimizers, really?"): the cost of a left-deep
+plan is the sum of the cardinalities of every intermediate join result.
+Estimated costs substitute an estimator's sub-join cardinalities; true
+costs use exact ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.joins.query import JoinQuery
+from repro.joins.schema import StarSchema
+from repro.optimizer.plans import JoinPlan
+from repro.query.query import Query
+
+
+def subquery_for(join_query: JoinQuery, schema: StarSchema, tables: frozenset[str]) -> JoinQuery:
+    """The query restricted to ``tables`` (predicates on other tables
+    dropped) — what the optimizer asks the estimator about."""
+    predicates = [
+        p for p in join_query.query if schema.table_of_column(p.column) in tables
+    ]
+    if not predicates:
+        # A predicate-free subjoin: express it as an always-true predicate
+        # on the hub so Query stays non-empty.
+        hub = schema.hub
+        anchor = next(c for c in hub.columns if c.name != schema.hub_key)
+        from repro.query.predicate import Op, Predicate
+
+        predicates = [Predicate(anchor.name, Op.GE, anchor.min)]
+    return JoinQuery(tables=tables, query=Query(predicates))
+
+
+def plan_cost(
+    plan: JoinPlan,
+    join_query: JoinQuery,
+    schema: StarSchema,
+    cardinality_of: Callable[[JoinQuery], float],
+) -> float:
+    """C_out under a cardinality oracle (estimated or exact)."""
+    hub_name = schema.hub.name
+    cost = 0.0
+    for prefix in plan.prefixes():
+        tables = frozenset({hub_name, *prefix})
+        cost += float(cardinality_of(subquery_for(join_query, schema, tables)))
+    return cost
+
+
+def estimated_plan_cost(plan, join_query, schema, estimator) -> float:
+    """C_out with the estimator's sub-join cardinalities."""
+    return plan_cost(plan, join_query, schema, estimator.estimate_cardinality)
+
+
+def true_plan_cost(plan, join_query, schema) -> float:
+    """C_out with exact sub-join cardinalities."""
+    return plan_cost(plan, join_query, schema, schema.true_cardinality)

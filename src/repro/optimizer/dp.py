@@ -1,0 +1,43 @@
+"""Plan selection: exhaustive costing over the (small) star plan space.
+
+Star schemas with k satellites have k! left-deep hub-first orders; for
+the JOB-light-style schemas here (k <= 3) exhaustive enumeration *is*
+Selinger DP, without the bookkeeping. The estimator is consulted once per
+distinct sub-join (memoised), mirroring how the modified Postgres in the
+paper requests "selectivities of all subqueries".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.joins.query import JoinQuery
+from repro.joins.schema import StarSchema
+from repro.optimizer.cost import plan_cost, subquery_for
+from repro.optimizer.plans import JoinPlan, enumerate_plans
+
+
+def choose_plan(
+    join_query: JoinQuery,
+    schema: StarSchema,
+    cardinality_of: Callable[[JoinQuery], float],
+) -> tuple[JoinPlan, float]:
+    """Return (cheapest plan, its estimated C_out) under the oracle."""
+    cache: dict[frozenset[str], float] = {}
+
+    def cached(subquery: JoinQuery) -> float:
+        key = subquery.tables
+        if key not in cache:
+            cache[key] = float(cardinality_of(subquery))
+        return cache[key]
+
+    def oracle(subquery: JoinQuery) -> float:
+        return cached(subquery)
+
+    best_plan, best_cost = None, float("inf")
+    for plan in enumerate_plans(join_query, schema):
+        cost = plan_cost(plan, join_query, schema, oracle)
+        if cost < best_cost:
+            best_plan, best_cost = plan, cost
+    assert best_plan is not None
+    return best_plan, best_cost

@@ -1,0 +1,79 @@
+"""The Figure 5 experiment: end-to-end time per estimator.
+
+For each query and each estimator: the optimizer chooses a join order
+using the estimator's sub-join cardinalities, the executor runs the
+chosen plan on the real data, and the wall-clock time is recorded.
+An exact-cardinality oracle ("true") provides the lower envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.joins.query import JoinQuery
+from repro.joins.schema import StarSchema
+from repro.optimizer.dp import choose_plan
+from repro.optimizer.executor import execute_plan
+
+
+@dataclass
+class EndToEndResult:
+    """Per-estimator outcome of the end-to-end run."""
+
+    name: str
+    total_ms: float
+    mean_ms: float
+    total_intermediate_rows: int
+    optimal_plan_rate: float  # fraction of queries given the true-best plan
+    per_query_ms: list[float] = field(default_factory=list)
+
+
+def run_end_to_end(
+    schema: StarSchema,
+    queries: Sequence[JoinQuery],
+    oracles: dict[str, Callable[[JoinQuery], float]],
+    repeats: int = 3,
+) -> list[EndToEndResult]:
+    """Execute every query under every estimator's chosen plan.
+
+    ``oracles`` maps estimator names to ``JoinQuery -> cardinality``
+    callables; an exact "true" oracle is always added. Each plan is
+    executed ``repeats`` times and the minimum time kept (noise guard).
+    """
+    oracles = {"true": schema.true_cardinality, **oracles}
+
+    # The true-optimal plan per query, for the plan-quality rate.
+    best_plans = {}
+    for i, query in enumerate(queries):
+        plan, _ = choose_plan(query, schema, schema.true_cardinality)
+        best_plans[i] = plan
+
+    results = []
+    for name, oracle in oracles.items():
+        per_query_ms: list[float] = []
+        intermediates = 0
+        optimal = 0
+        for i, query in enumerate(queries):
+            plan, _ = choose_plan(query, schema, oracle)
+            if plan == best_plans[i]:
+                optimal += 1
+            best_time = float("inf")
+            for _ in range(repeats):
+                outcome = execute_plan(plan, query, schema)
+                best_time = min(best_time, outcome.elapsed_ms)
+            intermediates += outcome.intermediate_rows
+            per_query_ms.append(best_time)
+        results.append(
+            EndToEndResult(
+                name=name,
+                total_ms=float(np.sum(per_query_ms)),
+                mean_ms=float(np.mean(per_query_ms)),
+                total_intermediate_rows=intermediates,
+                optimal_plan_rate=optimal / max(len(queries), 1),
+                per_query_ms=per_query_ms,
+            )
+        )
+    return results

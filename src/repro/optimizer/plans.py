@@ -1,0 +1,34 @@
+"""Join plans for star schemas: hub-first left-deep satellite orders."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.joins.query import JoinQuery
+from repro.joins.schema import StarSchema
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """A left-deep plan: start from the (filtered) hub, join satellites
+    in ``satellite_order``."""
+
+    satellite_order: tuple[str, ...]
+
+    def prefixes(self) -> list[tuple[str, ...]]:
+        """Satellite subsets after each join step (for costing)."""
+        return [self.satellite_order[: i + 1] for i in range(len(self.satellite_order))]
+
+    def __str__(self) -> str:
+        return " ⋈ ".join(("hub", *self.satellite_order))
+
+
+def enumerate_plans(join_query: JoinQuery, schema: StarSchema) -> list[JoinPlan]:
+    """All satellite orders for the query's table subset."""
+    satellites = [
+        s.table.name for s in schema.satellites if s.table.name in join_query.tables
+    ]
+    if not satellites:
+        return [JoinPlan(())]
+    return [JoinPlan(order) for order in itertools.permutations(satellites)]

@@ -1,0 +1,23 @@
+"""Queries, workload generation, and exact (ground-truth) execution."""
+
+from repro.query.predicate import Op, Predicate
+from repro.query.query import ColumnConstraint, Query
+from repro.query.dnf import DNFQuery, estimate_dnf
+from repro.query.executor import execute_query, true_selectivity
+from repro.query.generator import QueryGenerator
+from repro.query.parser import parse_query
+from repro.query.workload import Workload
+
+__all__ = [
+    "parse_query",
+    "Op",
+    "Predicate",
+    "Query",
+    "ColumnConstraint",
+    "DNFQuery",
+    "estimate_dnf",
+    "execute_query",
+    "true_selectivity",
+    "QueryGenerator",
+    "Workload",
+]

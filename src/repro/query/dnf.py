@@ -1,0 +1,57 @@
+"""Disjunction support via the inclusion–exclusion principle.
+
+The paper (Section 2.1) supports disjunctions by reducing them to
+conjunctions: ``P(R_i OR R_j) = P(R_i) + P(R_j) - P(R_i AND R_j)``.
+:class:`DNFQuery` holds a disjunction of conjunctive queries;
+:func:`estimate_dnf` evaluates it against any conjunctive estimator
+callable, expanding inclusion–exclusion over all non-empty clause
+subsets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Sequence
+
+from repro.errors import QueryError
+from repro.query.query import Query
+
+
+class DNFQuery:
+    """A disjunction of conjunctive queries (DNF)."""
+
+    def __init__(self, clauses: Sequence[Query]):
+        self.clauses = list(clauses)
+        if not self.clauses:
+            raise QueryError("a DNF query needs at least one clause")
+        if len(self.clauses) > 12:
+            raise QueryError(
+                "inclusion-exclusion over more than 12 clauses is intractable "
+                f"(got {len(self.clauses)})"
+            )
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __str__(self) -> str:
+        return " OR ".join(f"({q})" for q in self.clauses)
+
+
+def _conjoin(queries: Sequence[Query]) -> Query:
+    predicates = [p for q in queries for p in q.predicates]
+    return Query(predicates)
+
+
+def estimate_dnf(dnf: DNFQuery, estimate: Callable[[Query], float]) -> float:
+    """Inclusion–exclusion estimate of a DNF query's selectivity.
+
+    ``estimate`` is any conjunctive-selectivity estimator (e.g. a bound
+    method of an estimator object). The result is clamped to [0, 1]
+    because the alternating sum of *estimates* can step slightly outside.
+    """
+    total = 0.0
+    for size in range(1, len(dnf.clauses) + 1):
+        sign = (-1.0) ** (size + 1)
+        for subset in itertools.combinations(dnf.clauses, size):
+            total += sign * estimate(_conjoin(subset))
+    return min(max(total, 0.0), 1.0)

@@ -1,0 +1,36 @@
+"""Exact query execution over in-memory tables — the ground truth oracle.
+
+The paper obtains true selectivities by running queries on Postgres; this
+module plays that role with vectorised numpy evaluation, which is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.query.query import Query
+
+
+def execute_query(table: Table, query: Query) -> np.ndarray:
+    """Boolean mask of rows satisfying the conjunction."""
+    mask = np.ones(table.num_rows, dtype=bool)
+    for predicate in query:
+        mask &= predicate.evaluate(table[predicate.column].values)
+        if not mask.any():
+            break
+    return mask
+
+
+def cardinality(table: Table, query: Query) -> int:
+    """Number of satisfying rows."""
+    return int(execute_query(table, query).sum())
+
+
+def true_selectivity(table: Table, query: Query, floor: bool = True) -> float:
+    """Exact selectivity; with ``floor``, clamped to 1/|T| as the paper's
+    q-error metric assumes (avoids division by zero)."""
+    sel = cardinality(table, query) / table.num_rows
+    if floor:
+        sel = max(sel, 1.0 / table.num_rows)
+    return sel

@@ -1,0 +1,95 @@
+"""Workload generation following the paper (Section 6.1.3).
+
+For each query: draw a subset of attributes; for a categorical attribute,
+uniformly draw a domain value and an operator from {=, <=, >=}; for a
+continuous attribute, draw a value uniformly between the column min and
+max and an operator from {<=, >=}. The query is the conjunction of the
+predicates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.errors import ConfigError
+from repro.query.predicate import CATEGORICAL_OPS, RANGE_OPS, Op, Predicate
+from repro.query.query import Query
+from repro.utils.rng import ensure_rng
+
+
+class QueryGenerator:
+    """Paper-faithful random query generator over a single table.
+
+    Parameters
+    ----------
+    table: the relation to query.
+    min_predicates / max_predicates: bounds on the number of *columns*
+        drawn per query (each contributes one predicate). Defaults span
+        1..num_columns.
+    seed: reproducibility.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        min_predicates: int = 1,
+        max_predicates: int | None = None,
+        seed=None,
+    ):
+        self.table = table
+        self.min_predicates = min_predicates
+        self.max_predicates = max_predicates or table.num_columns
+        if not (1 <= self.min_predicates <= self.max_predicates <= table.num_columns):
+            raise ConfigError(
+                f"invalid predicate-count bounds ({self.min_predicates}, "
+                f"{self.max_predicates}) for {table.num_columns} columns"
+            )
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------
+    def generate(self) -> Query:
+        """Draw one query."""
+        rng = self._rng
+        n_cols = rng.integers(self.min_predicates, self.max_predicates + 1)
+        chosen = rng.choice(self.table.num_columns, size=n_cols, replace=False)
+        predicates = []
+        for idx in sorted(chosen):
+            column = self.table.columns[idx]
+            if column.is_continuous():
+                value = float(rng.uniform(column.min, column.max))
+                op = RANGE_OPS[rng.integers(len(RANGE_OPS))]
+            else:
+                value = float(column.distinct_values[rng.integers(column.domain_size)])
+                op = CATEGORICAL_OPS[rng.integers(len(CATEGORICAL_OPS))]
+            predicates.append(Predicate(column.name, op, value))
+        return Query(predicates)
+
+    def generate_many(self, n: int) -> list[Query]:
+        """Draw ``n`` independent queries."""
+        return [self.generate() for _ in range(n)]
+
+    # ------------------------------------------------------------------
+    def generate_centered(self, selectivity_hint: float = 0.01) -> Query:
+        """Draw a query anchored on an actual tuple (low-selectivity bias).
+
+        Used for tail-stress workloads: pick a random row, build a small
+        window around its continuous values and equality predicates on a
+        subset of its categorical values. ``selectivity_hint`` controls
+        the window half-width as a fraction of the column range.
+        """
+        rng = self._rng
+        row = int(rng.integers(self.table.num_rows))
+        n_cols = rng.integers(self.min_predicates, self.max_predicates + 1)
+        chosen = rng.choice(self.table.num_columns, size=n_cols, replace=False)
+        predicates = []
+        for idx in sorted(chosen):
+            column = self.table.columns[idx]
+            anchor = float(column.values[row])
+            if column.is_continuous():
+                half = selectivity_hint * (column.max - column.min)
+                predicates.append(Predicate(column.name, Op.GE, anchor - half))
+                predicates.append(Predicate(column.name, Op.LE, anchor + half))
+            else:
+                predicates.append(Predicate(column.name, Op.EQ, anchor))
+        return Query(predicates)

@@ -1,0 +1,106 @@
+"""A small SQL-WHERE-clause parser for conjunctive queries.
+
+Turns strings like ``"latitude >= 30 AND longitude <= -80"`` (or with
+``BETWEEN`` / ``<>``) into :class:`~repro.query.query.Query` objects, so
+examples and interactive use don't need to build predicate lists by hand.
+
+Grammar (case-insensitive keywords)::
+
+    query     := condition ( AND condition )*
+    condition := column op number
+               | column BETWEEN number AND number
+    op        := = | == | != | <> | < | <= | > | >=
+
+Disjunctions are intentionally not parsed — split on OR yourself and use
+:class:`~repro.query.dnf.DNFQuery`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import QueryError
+from repro.query.predicate import Op, Predicate
+from repro.query.query import Query
+
+_TOKEN = re.compile(
+    r"""\s*(?:
+        (?P<and>AND\b) |
+        (?P<between>BETWEEN\b) |
+        (?P<op><=|>=|!=|<>|==|=|<|>) |
+        (?P<number>[-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?) |
+        (?P<name>[A-Za-z_][A-Za-z_0-9.]*)
+    )""",
+    re.VERBOSE | re.IGNORECASE,
+)
+
+_OP_ALIASES = {"==": "=", "<>": "!="}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            raise QueryError(f"cannot parse query near: {text[position:position + 20]!r}")
+        position = match.end()
+        for kind in ("and", "between", "op", "number", "name"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        return self._tokens[self._index] if self._index < len(self._tokens) else None
+
+    def take(self, kind: str) -> str:
+        token = self.peek()
+        if token is None or token[0] != kind:
+            got = token[1] if token else "end of input"
+            raise QueryError(f"expected {kind}, got {got!r}")
+        self._index += 1
+        return token[1]
+
+    def done(self) -> bool:
+        return self._index >= len(self._tokens)
+
+
+def parse_query(text: str) -> Query:
+    """Parse a conjunctive WHERE clause into a :class:`Query`.
+
+    >>> str(parse_query("x >= 1 AND y BETWEEN 2 AND 3"))
+    'x >= 1.0 AND y >= 2.0 AND y <= 3.0'
+    """
+    stream = _TokenStream(_tokenize(text))
+    predicates: list[Predicate] = []
+    while True:
+        column = stream.take("name")
+        token = stream.peek()
+        if token is not None and token[0] == "between":
+            stream.take("between")
+            low = float(stream.take("number"))
+            stream.take("and")
+            high = float(stream.take("number"))
+            if low > high:
+                raise QueryError(f"BETWEEN bounds inverted: {low} > {high}")
+            predicates.append(Predicate(column, Op.GE, low))
+            predicates.append(Predicate(column, Op.LE, high))
+        else:
+            raw = stream.take("op")
+            op = Op(_OP_ALIASES.get(raw, raw))
+            value = float(stream.take("number"))
+            predicates.append(Predicate(column, op, value))
+        if stream.done():
+            break
+        stream.take("and")
+        if stream.done():
+            raise QueryError("dangling AND at end of query")
+    return Query(predicates)

@@ -1,0 +1,104 @@
+"""Single-attribute predicates (paper Definition 2.1).
+
+A predicate is ``<attribute> <op> <value>`` with op in
+``{=, !=, <, <=, >, >=}``. Internally every op is normalised to a union
+of closed intervals over the attribute's domain, which is the form the
+samplers, histograms, and the exact executor all consume.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueryError
+
+
+class Op(enum.Enum):
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+
+# The operators the paper's workload generator draws from.
+RANGE_OPS = (Op.LE, Op.GE)
+CATEGORICAL_OPS = (Op.EQ, Op.LE, Op.GE)
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """``column op value``."""
+
+    column: str
+    op: Op
+    value: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.op, Op):
+            object.__setattr__(self, "op", Op(self.op))
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op.value} {self.value}"
+
+    # ------------------------------------------------------------------
+    def intervals(
+        self,
+        domain_min: float = -math.inf,
+        domain_max: float = math.inf,
+        neq_epsilon: float | None = None,
+    ) -> list[tuple[float, float]]:
+        """Closed intervals (within the column domain) satisfying the op.
+
+        ``!=`` splits the domain into two intervals around the value; for
+        continuous domains the excluded point has measure ~0 so
+        ``neq_epsilon`` (default: exact open endpoints via nextafter)
+        controls how tightly the point is excluded.
+        """
+        v = self.value
+        if self.op is Op.EQ:
+            return [(v, v)]
+        if self.op is Op.LE:
+            return [(domain_min, v)]
+        if self.op is Op.GE:
+            return [(v, domain_max)]
+        if self.op is Op.LT:
+            return [(domain_min, _below(v, neq_epsilon))]
+        if self.op is Op.GT:
+            return [(_above(v, neq_epsilon), domain_max)]
+        if self.op is Op.NEQ:
+            return [
+                (domain_min, _below(v, neq_epsilon)),
+                (_above(v, neq_epsilon), domain_max),
+            ]
+        raise QueryError(f"unsupported operator: {self.op}")  # pragma: no cover
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of rows satisfying the predicate (exact)."""
+        v = self.value
+        if self.op is Op.EQ:
+            return values == v
+        if self.op is Op.NEQ:
+            return values != v
+        if self.op is Op.LT:
+            return values < v
+        if self.op is Op.LE:
+            return values <= v
+        if self.op is Op.GT:
+            return values > v
+        if self.op is Op.GE:
+            return values >= v
+        raise QueryError(f"unsupported operator: {self.op}")  # pragma: no cover
+
+
+def _below(v: float, eps: float | None) -> float:
+    return v - eps if eps else float(np.nextafter(v, -math.inf))
+
+
+def _above(v: float, eps: float | None) -> float:
+    return v + eps if eps else float(np.nextafter(v, math.inf))

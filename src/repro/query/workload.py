@@ -1,0 +1,63 @@
+"""Workload container: queries paired with their true selectivities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.query.executor import true_selectivity
+from repro.query.generator import QueryGenerator
+from repro.query.query import Query
+
+
+@dataclass
+class Workload:
+    """Queries plus exact selectivities for one table."""
+
+    queries: list[Query]
+    true_selectivities: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.true_selectivities = np.asarray(self.true_selectivities, dtype=np.float64)
+        assert len(self.queries) == len(self.true_selectivities)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[tuple[Query, float]]:
+        return iter(zip(self.queries, self.true_selectivities))
+
+    @classmethod
+    def from_queries(cls, table: Table, queries: Sequence[Query]) -> "Workload":
+        """Execute queries exactly to label them."""
+        sels = np.array([true_selectivity(table, q) for q in queries])
+        return cls(list(queries), sels)
+
+    @classmethod
+    def generate(
+        cls,
+        table: Table,
+        n_queries: int,
+        seed=None,
+        min_predicates: int = 1,
+        max_predicates: int | None = None,
+    ) -> "Workload":
+        """Generate and label a paper-style workload in one call."""
+        generator = QueryGenerator(
+            table,
+            min_predicates=min_predicates,
+            max_predicates=max_predicates,
+            seed=seed,
+        )
+        return cls.from_queries(table, generator.generate_many(n_queries))
+
+    def split(self, n_first: int) -> tuple["Workload", "Workload"]:
+        """Split into (first n, rest) — e.g. train/test for query-driven
+        estimators."""
+        return (
+            Workload(self.queries[:n_first], self.true_selectivities[:n_first]),
+            Workload(self.queries[n_first:], self.true_selectivities[n_first:]),
+        )

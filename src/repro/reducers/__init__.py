@@ -1,0 +1,57 @@
+"""Domain-reduction strategies for large-domain columns.
+
+The heart of the paper is reducing a continuous column's domain before
+the AR model sees it. :class:`GMMReducer` is the paper's method; the
+equi-depth histogram, spline histogram, and uniform-mixture reducers are
+the Section 6.6 alternatives; :class:`IdentityReducer` is the exact
+(no-reduction) path used for categorical / small-domain columns; and
+:class:`ColumnFactorizer` is Neurocard's lossless alternative used by the
+Naru/Neurocard baseline.
+
+Every reducer maps raw values to tokens and — crucially for the unbiased
+sampler — reports ``range_mass(intervals)``: the probability that a value
+carrying each token lies inside the queried range. Exact codecs return
+0/1 indicators; lossy reducers return fractional masses (the bias
+correction of Section 5.2 for GMMs, the uniform-spread assumption for the
+bucket-based alternatives — which is precisely why their tail errors
+explode in Tables 9–11).
+"""
+
+from repro.reducers.base import DomainReducer
+from repro.reducers.identity import IdentityReducer
+from repro.reducers.gmm_reducer import GMMReducer
+from repro.reducers.loggmm import LogGMMReducer
+from repro.reducers.equidepth import EquiDepthReducer
+from repro.reducers.spline import SplineReducer
+from repro.reducers.umm import UniformMixtureReducer
+from repro.reducers.factorize import ColumnFactorizer
+from repro.reducers.nullable import NullableReducer
+
+__all__ = [
+    "DomainReducer",
+    "IdentityReducer",
+    "GMMReducer",
+    "LogGMMReducer",
+    "EquiDepthReducer",
+    "SplineReducer",
+    "UniformMixtureReducer",
+    "ColumnFactorizer",
+    "NullableReducer",
+]
+
+
+def make_reducer(kind: str, n_components: int = 30, seed=None) -> DomainReducer:
+    """Factory over the lossy reducers compared in Section 6.6."""
+    from repro.errors import ConfigError
+
+    if kind == "gmm":
+        return GMMReducer(n_components=n_components, seed=seed)
+    if kind == "loggmm":
+        return LogGMMReducer(n_components=n_components, seed=seed)
+    if kind == "hist":
+        return EquiDepthReducer(n_bins=n_components)
+    if kind == "spline":
+        return SplineReducer(n_knots=n_components)
+    if kind == "umm":
+        return UniformMixtureReducer(n_components=n_components, seed=seed)
+    raise ConfigError(f"unknown reducer kind {kind!r}")

@@ -1,0 +1,54 @@
+"""The :class:`DomainReducer` interface."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+Interval = tuple[float, float]
+
+
+class DomainReducer:
+    """Maps raw column values to a (usually much smaller) token domain.
+
+    Contract
+    --------
+    - ``fit(values)`` learns the mapping; returns self.
+    - ``transform(values)`` -> int64 token ids in ``[0, n_tokens)``.
+    - ``range_mass(intervals)`` -> (n_tokens,) array: for each token, the
+      estimated probability that a value mapped to it lies inside the
+      union of closed ``intervals``. Exact reducers return {0, 1}.
+    - ``size_bytes()`` -> storage footprint for the model-size tables.
+    - ``is_exact`` -> True when range_mass is an exact indicator, in
+      which case the progressive sampler needs no bias correction.
+    """
+
+    n_tokens: int
+    is_exact: bool = False
+
+    def fit(self, values: np.ndarray) -> "DomainReducer":  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def transform(self, values: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def range_mass(self, intervals: Sequence[Interval]) -> np.ndarray:
+        """Union-of-intervals mass: sum of per-interval masses, clipped.
+
+        Subclasses implement :meth:`_interval_mass` for a single closed
+        interval; disjointness of the intervals makes summation valid.
+        """
+        total = np.zeros(self.n_tokens)
+        for low, high in intervals:
+            total += self._interval_mass(float(low), float(high))
+        return np.clip(total, 0.0, 1.0)
+
+    def _interval_mass(self, low: float, high: float) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def size_bytes(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)

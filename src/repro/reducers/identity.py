@@ -1,0 +1,46 @@
+"""Exact (lossless) reduction: ordinal encoding of the distinct values.
+
+Used for categorical columns and small-domain continuous columns — the
+paper only sends columns with domain size > 1000 through GMMs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.encoding import OrdinalCodec
+from repro.errors import NotFittedError
+from repro.reducers.base import DomainReducer
+
+
+class IdentityReducer(DomainReducer):
+    """Order-preserving ordinal codec as a reducer (range masses exact)."""
+
+    is_exact = True
+
+    def __init__(self) -> None:
+        self._codec: OrdinalCodec | None = None
+        self.n_tokens = 0
+
+    def fit(self, values: np.ndarray) -> "IdentityReducer":
+        self._codec = OrdinalCodec(values)
+        self.n_tokens = self._codec.vocab_size
+        return self
+
+    def _require_codec(self) -> OrdinalCodec:
+        if self._codec is None:
+            raise NotFittedError("IdentityReducer used before fit()")
+        return self._codec
+
+    @property
+    def codec(self) -> OrdinalCodec:
+        return self._require_codec()
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        return self._require_codec().encode(values)
+
+    def _interval_mass(self, low: float, high: float) -> np.ndarray:
+        return self._require_codec().range_mask(low, high)
+
+    def size_bytes(self) -> int:
+        return self._require_codec().vocab_size * 4

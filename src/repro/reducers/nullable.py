@@ -1,0 +1,59 @@
+"""Nullable wrapper: adds a NULL token to any fitted reducer.
+
+Full-outer-join samples pad unmatched satellite rows with NULLs. The
+wrapped reducer is fitted on the non-null domain; this wrapper appends
+one token (id = ``inner.n_tokens``) representing NULL. Range masses from
+real predicates give the NULL token zero mass — a NULL never satisfies a
+predicate — and :meth:`present_mass` is the "row exists" constraint used
+for join-membership without predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.reducers.base import DomainReducer, Interval
+
+
+class NullableReducer(DomainReducer):
+    """Wrap a fitted reducer with an extra NULL token."""
+
+    def __init__(self, inner: DomainReducer):
+        self.inner = inner
+        self.n_tokens = inner.n_tokens + 1
+        self.is_exact = inner.is_exact
+
+    @property
+    def null_token(self) -> int:
+        return self.inner.n_tokens
+
+    def fit(self, values: np.ndarray) -> "NullableReducer":
+        raise NotImplementedError(
+            "NullableReducer wraps an already-fitted reducer"
+        )  # pragma: no cover
+
+    def transform(self, values: np.ndarray, null_mask: np.ndarray | None = None) -> np.ndarray:
+        """Tokens; rows flagged in ``null_mask`` map to the NULL token."""
+        if null_mask is None:
+            return self.inner.transform(values)
+        values = np.asarray(values, dtype=np.float64)
+        out = np.full(len(values), self.null_token, dtype=np.int64)
+        real = ~np.asarray(null_mask, dtype=bool)
+        if real.any():
+            out[real] = self.inner.transform(values[real])
+        return out
+
+    def range_mass(self, intervals: Sequence[Interval]) -> np.ndarray:
+        inner = self.inner.range_mass(intervals)
+        return np.concatenate([inner, [0.0]])
+
+    def present_mass(self) -> np.ndarray:
+        """Mass selecting any non-NULL token (join membership)."""
+        mass = np.ones(self.n_tokens)
+        mass[self.null_token] = 0.0
+        return mass
+
+    def size_bytes(self) -> int:
+        return self.inner.size_bytes()

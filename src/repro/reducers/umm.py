@@ -1,0 +1,97 @@
+"""Uniform-mixture-model reducer (Section 6.6 alternative 3).
+
+A mixture of K overlapping uniform "buckets" with learnable weights —
+the model family QuickSel fits from queries, here fitted from data as a
+domain reducer. Buckets are overlapping quantile windows; weights are
+estimated by EM over the (fixed-support) mixture. A value's token is its
+argmax-responsibility bucket; inside a bucket the density is uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.reducers.base import DomainReducer
+from repro.utils.rng import ensure_rng
+
+
+class UniformMixtureReducer(DomainReducer):
+    """Reduce to argmax-responsibility uniform-bucket ids."""
+
+    is_exact = False
+
+    def __init__(self, n_components: int = 30, em_iters: int = 30, seed=None):
+        self.n_components = n_components
+        self.em_iters = em_iters
+        self._rng = ensure_rng(seed)
+        self.lows: np.ndarray | None = None
+        self.highs: np.ndarray | None = None
+        self.weights: np.ndarray | None = None
+        self.n_tokens = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, values: np.ndarray) -> "UniformMixtureReducer":
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        k = self.n_components
+        # Overlapping quantile windows: component j spans quantiles
+        # [j/(k+1), (j+2)/(k+1)] — neighbours overlap by half a window.
+        qs = np.linspace(0.0, 1.0, k + 2)
+        anchors = np.quantile(values, qs)
+        lows = anchors[:-2].copy()
+        highs = anchors[2:].copy()
+        # Guard zero-width windows from duplicated quantiles.
+        eps = max((values.max() - values.min()) * 1e-9, 1e-12)
+        highs = np.maximum(highs, lows + eps)
+        weights = np.full(k, 1.0 / k)
+
+        densities = np.zeros((len(values), k))
+        for j in range(k):
+            inside = (values >= lows[j]) & (values <= highs[j])
+            densities[inside, j] = 1.0 / (highs[j] - lows[j])
+
+        for _ in range(self.em_iters):  # EM over the weights only
+            joint = densities * weights[None, :]
+            norm = joint.sum(axis=1, keepdims=True)
+            norm[norm == 0] = 1.0
+            resp = joint / norm
+            weights = resp.mean(axis=0)
+            weights = np.clip(weights, 1e-12, None)
+            weights /= weights.sum()
+
+        self.lows, self.highs, self.weights = lows, highs, weights
+        self.n_tokens = k
+        return self
+
+    # ------------------------------------------------------------------
+    def _require_fit(self) -> None:
+        if self.lows is None:
+            raise NotFittedError("UniformMixtureReducer used before fit()")
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fit()
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        width = self.highs - self.lows
+        inside = (values[:, None] >= self.lows[None, :]) & (
+            values[:, None] <= self.highs[None, :]
+        )
+        joint = inside * (self.weights / width)[None, :]
+        # Values outside every bucket (numerical edges) go to the nearest.
+        tokens = np.argmax(joint, axis=1)
+        orphan = ~inside.any(axis=1)
+        if orphan.any():
+            centers = (self.lows + self.highs) / 2.0
+            tokens[orphan] = np.argmin(
+                np.abs(values[orphan, None] - centers[None, :]), axis=1
+            )
+        return tokens.astype(np.int64)
+
+    def _interval_mass(self, low: float, high: float) -> np.ndarray:
+        self._require_fit()
+        overlap = np.minimum(self.highs, high) - np.maximum(self.lows, low)
+        frac = np.clip(overlap, 0.0, None) / (self.highs - self.lows)
+        return np.clip(frac, 0.0, 1.0)
+
+    def size_bytes(self) -> int:
+        self._require_fit()
+        return 3 * self.n_tokens * 4

@@ -1,0 +1,13 @@
+"""Gradient-boosted regression trees, from scratch.
+
+The substrate behind the Model_QE baseline (Dutt et al., "Efficiently
+approximating selectivity functions using low overhead regression
+models"): the original uses XGBoost/LightGBM; this is a compact,
+dependency-free reimplementation sufficient for the paper's usage —
+regressing (log) selectivities on query-range features.
+"""
+
+from repro.trees.regression_tree import RegressionTree
+from repro.trees.gbdt import GradientBoostedRegressor
+
+__all__ = ["RegressionTree", "GradientBoostedRegressor"]

@@ -1,0 +1,79 @@
+"""Gradient boosting with squared loss over regression trees."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, NotFittedError
+from repro.trees.regression_tree import RegressionTree
+
+
+class GradientBoostedRegressor:
+    """Classic L2 boosting: each tree fits the current residuals."""
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 4,
+        min_samples_leaf: int = 5,
+        subsample: float = 1.0,
+        seed=None,
+    ):
+        if n_estimators < 1:
+            raise ConfigError("n_estimators must be >= 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ConfigError("learning_rate must be in (0, 1]")
+        if not 0.0 < subsample <= 1.0:
+            raise ConfigError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self._rng = np.random.default_rng(seed)
+        self.base_: float | None = None
+        self.trees_: list[RegressionTree] = []
+        self.train_errors_: list[float] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostedRegressor":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        self.base_ = float(y.mean())
+        self.trees_ = []
+        self.train_errors_ = []
+        prediction = np.full(len(y), self.base_)
+        n = len(y)
+        for _ in range(self.n_estimators):
+            residual = y - prediction
+            if self.subsample < 1.0:
+                rows = self._rng.choice(n, size=max(int(self.subsample * n), 2), replace=False)
+            else:
+                rows = slice(None)
+            tree = RegressionTree(
+                max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+            ).fit(x[rows], residual[rows])
+            self.trees_.append(tree)
+            prediction = prediction + self.learning_rate * tree.predict(x)
+            self.train_errors_.append(float(((y - prediction) ** 2).mean()))
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.base_ is None:
+            raise NotFittedError("GradientBoostedRegressor used before fit()")
+        x = np.asarray(x, dtype=np.float64)
+        out = np.full(len(x), self.base_)
+        for tree in self.trees_:
+            out += self.learning_rate * tree.predict(x)
+        return out
+
+    def size_bytes(self) -> int:
+        """Rough storage: 4 values per internal node + 1 per leaf."""
+        if self.base_ is None:
+            raise NotFittedError("GradientBoostedRegressor used before fit()")
+        total = 1
+        for tree in self.trees_:
+            leaves = tree.n_leaves()
+            total += leaves + 4 * max(leaves - 1, 0)
+        return total * 4

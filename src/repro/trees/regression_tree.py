@@ -1,0 +1,123 @@
+"""A CART-style regression tree with variance-reduction splits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, NotFittedError
+
+
+@dataclass
+class _Node:
+    """Internal: either a split (feature, threshold, children) or a leaf."""
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split(x: np.ndarray, y: np.ndarray, min_leaf: int) -> tuple[int, float, float]:
+    """(feature, threshold, sse_gain) of the best split, gain 0 if none.
+
+    For each feature: sort once, then prefix sums give every split's SSE
+    in O(n) (the classic exact greedy of CART/XGBoost).
+    """
+    n, d = x.shape
+    total_sum = y.sum()
+    total_sq = (y**2).sum()
+    base_sse = total_sq - total_sum**2 / n
+    best = (-1, 0.0, 0.0)
+    for feature in range(d):
+        order = np.argsort(x[:, feature], kind="stable")
+        xs = x[order, feature]
+        ys = y[order]
+        csum = np.cumsum(ys)
+        csq = np.cumsum(ys**2)
+        # Candidate split after position i (1-based left size).
+        sizes = np.arange(1, n)
+        left_sse = csq[:-1] - csum[:-1] ** 2 / sizes
+        right_sum = total_sum - csum[:-1]
+        right_sq = total_sq - csq[:-1]
+        right_sizes = n - sizes
+        right_sse = right_sq - right_sum**2 / right_sizes
+        gain = base_sse - (left_sse + right_sse)
+        # Valid splits: both sides >= min_leaf and x strictly increases.
+        valid = (sizes >= min_leaf) & (right_sizes >= min_leaf) & (xs[:-1] < xs[1:])
+        if not valid.any():
+            continue
+        gain = np.where(valid, gain, -np.inf)
+        i = int(np.argmax(gain))
+        if gain[i] > best[2]:
+            threshold = (xs[i] + xs[i + 1]) / 2.0
+            best = (feature, float(threshold), float(gain[i]))
+    return best
+
+
+class RegressionTree:
+    """Binary regression tree minimising squared error."""
+
+    def __init__(self, max_depth: int = 5, min_samples_leaf: int = 5):
+        if max_depth < 1 or min_samples_leaf < 1:
+            raise ConfigError("max_depth and min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._root: _Node | None = None
+        self.n_features_: int | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or len(x) != len(y):
+            raise ConfigError("x must be (n, d) with matching y")
+        self.n_features_ = x.shape[1]
+        self._root = self._grow(x, y, depth=0)
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf:
+            return node
+        feature, threshold, gain = _best_split(x, y, self.min_samples_leaf)
+        if feature < 0 or gain <= 1e-12:
+            return node
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise NotFittedError("RegressionTree used before fit()")
+        x = np.asarray(x, dtype=np.float64)
+        out = np.empty(len(x))
+        # Iterative routing: vectorised per-level would be nicer, but the
+        # trees here are shallow (depth <= 8) so a per-row walk is fine.
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    def n_leaves(self) -> int:
+        if self._root is None:
+            raise NotFittedError("RegressionTree used before fit()")
+
+        def count(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return count(node.left) + count(node.right)
+
+        return count(self._root)

@@ -1,0 +1,20 @@
+"""Shared utilities: RNG handling, validation, timing."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_fitted,
+    check_positive,
+    check_probability_vector,
+    check_in_range,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "check_fitted",
+    "check_positive",
+    "check_probability_vector",
+    "check_in_range",
+]

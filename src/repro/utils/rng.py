@@ -1,0 +1,31 @@
+"""Random-number-generator plumbing.
+
+All stochastic components in the library accept a ``seed`` argument that
+may be ``None`` (fresh entropy), an integer, or an existing
+``numpy.random.Generator``. :func:`ensure_rng` normalises the three cases
+so that every component is reproducible when the caller wants it to be.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for any accepted seed form."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one seed.
+
+    Used when components (e.g. the per-attribute GMMs) need their own
+    streams that stay reproducible regardless of each other's consumption.
+    """
+    root = ensure_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]

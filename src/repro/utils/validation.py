@@ -1,0 +1,38 @@
+"""Argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, NotFittedError
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is (strictly) positive."""
+    if strict and value <= 0:
+        raise ConfigError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value}")
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> None:
+    """Raise :class:`ConfigError` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ConfigError(f"{name} must be in [{low}, {high}], got {value}")
+
+
+def check_fitted(obj, attribute: str) -> None:
+    """Raise :class:`NotFittedError` if ``obj.attribute`` is None/missing."""
+    if getattr(obj, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(obj).__name__} must be fitted before use (missing {attribute!r})"
+        )
+
+
+def check_probability_vector(name: str, p: np.ndarray, atol: float = 1e-6) -> None:
+    """Raise :class:`ConfigError` unless ``p`` is a valid distribution."""
+    p = np.asarray(p)
+    if np.any(p < -atol):
+        raise ConfigError(f"{name} has negative entries")
+    if not np.isclose(p.sum(), 1.0, atol=atol):
+        raise ConfigError(f"{name} must sum to 1, sums to {p.sum()}")

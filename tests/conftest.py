@@ -1,0 +1,74 @@
+"""Shared fixtures: small tables and (session-scoped) trained models.
+
+Training even tiny models costs seconds, so anything fitted is
+session-scoped and downsized; tests assert behaviour, not benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import IAMConfig
+from repro.core.model import IAM
+from repro.data.table import Column, ColumnKind, Table
+from repro.datasets import make_twi, make_wisdm
+from repro.query.workload import Workload
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_table() -> Table:
+    """4-column table with known, hand-checkable content."""
+    rng = np.random.default_rng(7)
+    n = 2000
+    a = rng.integers(0, 4, n)
+    b = (a + rng.integers(0, 2, n)) % 4
+    x = np.round(rng.normal(a * 2.0, 0.5, n), 3)
+    y = np.round(rng.exponential(1.0, n), 3)
+    return Table(
+        "tiny",
+        [
+            Column("a", a.astype(np.int64), ColumnKind.CATEGORICAL),
+            Column("b", b.astype(np.int64), ColumnKind.CATEGORICAL),
+            Column("x", x, ColumnKind.CONTINUOUS),
+            Column("y", y, ColumnKind.CONTINUOUS),
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def twi_small() -> Table:
+    return make_twi(4000, seed=3)
+
+
+@pytest.fixture(scope="session")
+def wisdm_small() -> Table:
+    return make_wisdm(4000, seed=3)
+
+
+FAST_IAM = dict(
+    n_components=8,
+    gmm_domain_threshold=100,
+    epochs=3,
+    learning_rate=1e-2,
+    hidden_sizes=(32, 32, 32),
+    n_progressive_samples=200,
+    samples_per_component=1000,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="session")
+def fitted_iam(twi_small) -> IAM:
+    """A small IAM trained on TWI (shared across tests)."""
+    return IAM(IAMConfig(**FAST_IAM)).fit(twi_small)
+
+
+@pytest.fixture(scope="session")
+def twi_workload(twi_small) -> Workload:
+    return Workload.generate(twi_small, 30, seed=5)

@@ -1,0 +1,152 @@
+"""MADE/ResMADE: mask construction, the autoregressive property, orders."""
+
+import numpy as np
+import pytest
+
+from repro.ar import build_made, heuristic_order, identity_order, random_order, validate_order
+from repro.ar.made import MADE, build_masks
+from repro.errors import ConfigError
+
+RNG = np.random.default_rng(0)
+
+
+class TestOrders:
+    def test_identity(self):
+        np.testing.assert_array_equal(identity_order(4), [0, 1, 2, 3])
+
+    def test_random_is_permutation(self):
+        order = random_order(6, seed=1)
+        assert sorted(order.tolist()) == list(range(6))
+
+    def test_heuristic_small_domains_first(self):
+        positions = heuristic_order([100, 2, 50])
+        assert positions[1] == 0  # smallest domain gets position 0
+        assert positions[0] == 2
+
+    def test_validate_rejects_non_permutation(self):
+        with pytest.raises(ConfigError):
+            validate_order(np.array([0, 0, 1]), 3)
+
+
+class TestMasks:
+    def test_product_of_masks_is_strictly_lower_triangular(self):
+        """Composite input->output connectivity must only flow forward."""
+        embed_widths = [3, 3, 3]
+        vocabs = [4, 4, 4]
+        masks = build_masks(3, embed_widths, vocabs, [16, 16], np.array([0, 1, 2]))
+        composite = masks[0]
+        for m in masks[1:]:
+            composite = composite @ m
+        # Block (input col i) x (output col j): nonzero only if i < j.
+        for i in range(3):
+            for j in range(3):
+                block = composite[3 * i : 3 * (i + 1), 4 * j : 4 * (j + 1)]
+                if i >= j:
+                    assert block.sum() == 0, (i, j)
+                else:
+                    assert block.sum() > 0, (i, j)
+
+    def test_masks_respect_custom_order(self):
+        positions = np.array([2, 0, 1])  # column 1 first, then 2, then 0
+        masks = build_masks(3, [2, 2, 2], [3, 3, 3], [8], positions)
+        composite = masks[0] @ masks[1]
+        # Column 1 (position 0) output depends on nothing.
+        block = composite[:, 3:6]
+        assert block.sum() == 0
+
+
+@pytest.fixture(scope="module", params=["made", "resmade"])
+def model(request):
+    return build_made([5, 3, 7], arch=request.param, hidden_sizes=(24, 24, 24), seed=0)
+
+
+class TestAutoregressiveProperty:
+    def test_logits_ignore_later_columns(self, model):
+        base = np.array([[1, 2, 3]])
+        for k in range(3):
+            for later in range(k, 3):
+                perturbed = base.copy()
+                perturbed[0, later] = (base[0, later] + 1) % model.vocab_sizes[later]
+                out_base = model.forward(base)[k].numpy()
+                out_pert = model.forward(perturbed)[k].numpy()
+                np.testing.assert_allclose(out_base, out_pert, err_msg=f"k={k} later={later}")
+
+    def test_logits_use_earlier_columns(self, model):
+        base = np.array([[1, 2, 3]])
+        changed = np.array([[2, 2, 3]])
+        assert not np.allclose(
+            model.forward(base)[2].numpy(), model.forward(changed)[2].numpy()
+        )
+
+    def test_wildcard_mask_changes_downstream_only(self, model):
+        tokens = np.array([[1, 2, 3]])
+        mask = np.array([[True, False, False]])
+        out_masked = model.forward(tokens, wildcard_mask=mask)
+        out_plain = model.forward(tokens)
+        np.testing.assert_allclose(out_masked[0].numpy(), out_plain[0].numpy())
+        assert not np.allclose(out_masked[1].numpy(), out_plain[1].numpy())
+
+
+class TestModelMechanics:
+    def test_column_logits_matches_forward(self, model):
+        tokens = RNG.integers(0, 3, size=(6, 3))
+        full = model.forward(tokens)
+        for k in range(3):
+            np.testing.assert_allclose(
+                model.column_logits(k, tokens).numpy(), full[k].numpy(), atol=1e-12
+            )
+
+    def test_log_likelihood_is_sum_of_conditionals(self, model):
+        tokens = np.array([[1, 2, 3], [0, 0, 0]])
+        ll = model.log_likelihood(tokens).numpy()
+        from repro.autodiff import ops
+
+        logits = model.forward(tokens)
+        manual = np.zeros(2)
+        for k, block in enumerate(logits):
+            logp = ops.log_softmax(block, axis=-1).numpy()
+            manual += logp[np.arange(2), tokens[:, k]]
+        np.testing.assert_allclose(ll, manual)
+
+    def test_distribution_normalised(self, model):
+        """Sum of model probabilities over the whole domain is 1."""
+        grids = np.meshgrid(*[np.arange(v) for v in model.vocab_sizes], indexing="ij")
+        tuples = np.column_stack([g.ravel() for g in grids])
+        from repro.autodiff.tensor import no_grad
+
+        with no_grad():
+            ll = model.log_likelihood(tuples).numpy()
+        assert np.exp(ll).sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_wildcard_ids(self, model):
+        np.testing.assert_array_equal(model.wildcard_ids, [5, 3, 7])
+
+    def test_ar_order_natural(self, model):
+        assert model.ar_order() == [0, 1, 2]
+
+    def test_bad_token_shape_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.forward(np.zeros((2, 5), dtype=np.int64))
+
+
+class TestBuildFactory:
+    def test_resmade_requires_uniform_hiddens(self):
+        with pytest.raises(ConfigError):
+            build_made([3, 3], arch="resmade", hidden_sizes=(16, 32))
+
+    def test_unknown_arch(self):
+        with pytest.raises(ConfigError):
+            build_made([3, 3], arch="transformer")
+
+    def test_vocab_validation(self):
+        with pytest.raises(ConfigError):
+            MADE([0, 3])
+
+    def test_custom_order_model(self):
+        order = np.array([1, 0])  # column 1 is first in AR order
+        model = build_made([4, 4], arch="made", hidden_sizes=(16,), order=order, seed=0)
+        assert model.ar_order() == [1, 0]
+        # column 1's logits must ignore column 0
+        a = model.forward(np.array([[0, 2]]))[1].numpy()
+        b = model.forward(np.array([[3, 2]]))[1].numpy()
+        np.testing.assert_allclose(a, b)

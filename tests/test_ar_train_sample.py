@@ -1,0 +1,171 @@
+"""AR training loop and progressive sampling correctness."""
+
+import numpy as np
+import pytest
+
+from repro.ar import ARTrainer, ProgressiveSampler, SlotConstraint, TrainConfig, build_made
+from repro.ar.train import draw_wildcard_mask
+from repro.errors import ConfigError
+
+RNG = np.random.default_rng(0)
+
+
+def make_correlated_tokens(n=8000, rng=RNG):
+    a = rng.integers(0, 4, n)
+    b = (a + rng.integers(0, 2, n)) % 4
+    c = rng.integers(0, 3, n)
+    return np.column_stack([a, b, c])
+
+
+@pytest.fixture(scope="module")
+def trained():
+    tokens = make_correlated_tokens()
+    model = build_made([4, 4, 3], arch="resmade", hidden_sizes=(32, 32, 32), seed=0)
+    trainer = ARTrainer(model, TrainConfig(epochs=4, learning_rate=1e-2, seed=0))
+    trainer.train(tokens)
+    return model, tokens, trainer
+
+
+def indicator(vocab, lo, hi):
+    m = np.zeros(vocab)
+    m[lo : hi + 1] = 1.0
+    return m
+
+
+class TestTrainConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TrainConfig(epochs=0)
+        with pytest.raises(ConfigError):
+            TrainConfig(wildcard_probability=1.5)
+
+
+class TestWildcardMask:
+    def test_probability_zero_no_masking(self):
+        mask = draw_wildcard_mask(np.random.default_rng(0), 100, 5, 0.0)
+        assert not mask.any()
+
+    def test_mask_counts_below_n(self):
+        mask = draw_wildcard_mask(np.random.default_rng(0), 500, 4, 1.0)
+        counts = mask.sum(axis=1)
+        assert counts.max() <= 3  # never masks all columns
+
+    def test_roughly_half_samples_selected(self):
+        mask = draw_wildcard_mask(np.random.default_rng(0), 4000, 4, 0.5)
+        frac = (mask.any(axis=1)).mean()
+        # count==0 rows are unmasked even when selected, so < 0.5.
+        assert 0.2 < frac < 0.5
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained):
+        _, _, trainer = trained
+        assert trainer.epoch_losses[-1] < trainer.epoch_losses[0]
+
+    def test_evaluate_nll_close_to_entropy(self, trained):
+        model, tokens, trainer = trained
+        nll = trainer.evaluate_nll(tokens)
+        # True entropy of the generating process:
+        # H(a) + H(b|a) + H(c) = log4 + log2 + log3
+        entropy = np.log(4) + np.log(2) + np.log(3)
+        assert nll == pytest.approx(entropy, abs=0.25)
+
+    def test_epoch_callback_invoked(self):
+        tokens = make_correlated_tokens(500)
+        model = build_made([4, 4, 3], hidden_sizes=(16, 16, 16), seed=0)
+        seen = []
+        ARTrainer(model, TrainConfig(epochs=2, seed=0)).train(
+            tokens, on_epoch_end=lambda e, l: seen.append(e)
+        )
+        assert seen == [0, 1]
+
+
+class TestProgressiveSampling:
+    def test_point_query_accuracy(self, trained):
+        model, tokens, _ = trained
+        sampler = ProgressiveSampler(model, n_samples=600, seed=1)
+        est = sampler.estimate(
+            [SlotConstraint(indicator(4, 1, 1)), SlotConstraint(indicator(4, 2, 2)), None]
+        )
+        truth = ((tokens[:, 0] == 1) & (tokens[:, 1] == 2)).mean()
+        assert est == pytest.approx(truth, rel=0.35)
+
+    def test_range_query_accuracy(self, trained):
+        model, tokens, _ = trained
+        sampler = ProgressiveSampler(model, n_samples=600, seed=2)
+        est = sampler.estimate(
+            [SlotConstraint(indicator(4, 0, 1)), None, SlotConstraint(indicator(3, 1, 2))]
+        )
+        truth = ((tokens[:, 0] <= 1) & (tokens[:, 2] >= 1)).mean()
+        assert est == pytest.approx(truth, rel=0.2)
+
+    def test_unconstrained_query_estimates_one(self, trained):
+        model, _, _ = trained
+        sampler = ProgressiveSampler(model, n_samples=100, seed=3)
+        est = sampler.estimate(
+            [SlotConstraint(np.ones(4)), SlotConstraint(np.ones(4)), SlotConstraint(np.ones(3))]
+        )
+        assert est == pytest.approx(1.0, abs=1e-9)
+
+    def test_impossible_query_estimates_zero(self, trained):
+        model, _, _ = trained
+        sampler = ProgressiveSampler(model, n_samples=50, seed=4)
+        est = sampler.estimate([SlotConstraint(np.zeros(4)), None, None])
+        assert est == 0.0
+
+    def test_batch_matches_single(self, trained):
+        model, _, _ = trained
+        queries = [
+            [SlotConstraint(indicator(4, 0, 1)), None, None],
+            [None, SlotConstraint(indicator(4, 2, 3)), None],
+        ]
+        batch = ProgressiveSampler(model, n_samples=800, seed=5).estimate_batch(queries)
+        singles = [
+            ProgressiveSampler(model, n_samples=800, seed=6).estimate(q) for q in queries
+        ]
+        np.testing.assert_allclose(batch, singles, rtol=0.25)
+
+    def test_fractional_mass_scales_estimate(self, trained):
+        """A fractional mass multiplies the contribution (bias hook)."""
+        model, _, _ = trained
+        full = ProgressiveSampler(model, n_samples=400, seed=7).estimate(
+            [SlotConstraint(np.ones(4)), None, None]
+        )
+        half = ProgressiveSampler(model, n_samples=400, seed=7).estimate(
+            [SlotConstraint(np.full(4, 0.5)), None, None]
+        )
+        assert half == pytest.approx(full * 0.5, rel=1e-6)
+
+    def test_scale_hook_divides(self, trained):
+        model, _, _ = trained
+        base = ProgressiveSampler(model, n_samples=300, seed=8).estimate(
+            [SlotConstraint(mass=np.ones(4)), None, None]
+        )
+        scaled = ProgressiveSampler(model, n_samples=300, seed=8).estimate(
+            [SlotConstraint(mass=np.ones(4), scale=lambda t: np.full(len(t), 0.25)), None, None]
+        )
+        assert scaled == pytest.approx(base * 0.25, rel=1e-6)
+
+    def test_constraint_count_validated(self, trained):
+        model, _, _ = trained
+        sampler = ProgressiveSampler(model, n_samples=10, seed=0)
+        with pytest.raises(ConfigError):
+            sampler.estimate([None, None])
+
+    def test_mass_size_validated(self, trained):
+        model, _, _ = trained
+        sampler = ProgressiveSampler(model, n_samples=10, seed=0)
+        with pytest.raises(ConfigError):
+            sampler.estimate([SlotConstraint(np.ones(7)), None, None])
+
+    def test_n_samples_validated(self, trained):
+        model, _, _ = trained
+        with pytest.raises(ConfigError):
+            ProgressiveSampler(model, n_samples=0)
+
+    def test_estimates_are_deterministic_given_seed(self, trained):
+        model, _, _ = trained
+        q = [[SlotConstraint(indicator(4, 0, 2)), None, None]]
+        a = ProgressiveSampler(model, n_samples=200, seed=42).estimate_batch(q)
+        b = ProgressiveSampler(model, n_samples=200, seed=42).estimate_batch(q)
+        np.testing.assert_array_equal(a, b)

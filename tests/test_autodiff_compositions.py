@@ -1,0 +1,139 @@
+"""Gradient checks of the exact computational patterns the models use,
+plus remaining autodiff surface (fancy indexing, broadcasting corners)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import (
+    Tensor,
+    concat,
+    gather,
+    gradient_check,
+    log_softmax,
+    logsumexp,
+    no_grad,
+    relu,
+)
+
+RNG = np.random.default_rng(9)
+
+
+class TestModelShapedCompositions:
+    def test_masked_linear_chain(self):
+        """The MADE forward pattern: (x @ (W*mask) + b) through 2 layers."""
+        mask1 = (RNG.random((4, 6)) > 0.5).astype(float)
+        mask2 = (RNG.random((6, 3)) > 0.5).astype(float)
+        x = RNG.normal(size=(5, 4))
+
+        def forward(w1, b1, w2, b2):
+            h = relu(Tensor(x) @ (w1 * Tensor(mask1)) + b1)
+            out = h @ (w2 * Tensor(mask2)) + b2
+            return (log_softmax(out, axis=-1) ** 2).sum()
+
+        gradient_check(
+            forward,
+            [RNG.normal(size=(4, 6)), RNG.normal(size=6),
+             RNG.normal(size=(6, 3)), RNG.normal(size=3)],
+            rtol=1e-3,
+        )
+
+    def test_residual_block_pattern(self):
+        x = RNG.normal(size=(4, 5))
+
+        def forward(w1, w2):
+            h = Tensor(x)
+            inner = relu(relu(h) @ w1) @ w2
+            return ((h + inner) ** 2).sum()
+
+        gradient_check(forward, [RNG.normal(size=(5, 5)), RNG.normal(size=(5, 5))],
+                       rtol=1e-3)
+
+    def test_joint_loss_pattern(self):
+        """Equation 6's shape: GMM NLL + AR cross-entropy share a graph."""
+        x = RNG.normal(size=(6, 1))
+        targets = np.array([0, 1, 2, 0, 1, 2])
+        base_logits = RNG.normal(size=(6, 3))
+
+        def forward(means, log_stds, logits):
+            inv_var = (log_stds * (-2.0)).exp()
+            quad = (Tensor(x) - means.reshape(1, -1)) ** 2 * inv_var
+            gmm = -logsumexp(
+                log_softmax(logits.reshape(1, -1), axis=-1)
+                + (log_stds * (-1.0)) - 0.5 * quad,
+                axis=1,
+            ).mean()
+            ce_logits = Tensor(base_logits) + means.reshape(1, 3)
+            logp = log_softmax(ce_logits, axis=-1)
+            ce = -gather(logp, targets, axis=-1).mean()
+            return gmm + ce
+
+        gradient_check(
+            forward,
+            [RNG.normal(size=3), RNG.normal(size=3) * 0.1, RNG.normal(size=3)],
+            rtol=1e-3,
+        )
+
+    def test_fanout_scaling_pattern(self):
+        """Weight products with a gathered per-sample factor."""
+        idx = np.array([0, 2, 1, 0])
+
+        def forward(probs_logits, values):
+            p = log_softmax(probs_logits, axis=-1).exp()
+            picked = gather(values.reshape(1, -1) * p / p, idx, axis=-1)
+            return (p.sum(axis=1) * picked.reshape(-1)).sum()
+
+        gradient_check(
+            forward, [RNG.normal(size=(4, 3)), RNG.normal(size=3) + 2.0], rtol=1e-3
+        )
+
+
+class TestRemainingSurface:
+    def test_boolean_mask_not_supported_but_fancy_index_is(self):
+        t = Tensor(np.arange(6.0), requires_grad=True)
+        picked = t[np.array([5, 0, 0])]
+        picked.sum().backward()
+        np.testing.assert_allclose(t.grad, [2, 0, 0, 0, 0, 1])
+
+    def test_2d_slice_grad(self):
+        t = Tensor(RNG.normal(size=(4, 5)), requires_grad=True)
+        t[:, 1:3].sum().backward()
+        assert t.grad[:, 1:3].sum() == pytest.approx(8.0)
+        assert t.grad[:, 0].sum() == 0.0
+
+    def test_concat_three_tensors_axis0(self):
+        parts = [Tensor(RNG.normal(size=(2, 3)), requires_grad=True) for _ in range(3)]
+        concat(parts, axis=0).sum().backward()
+        for p in parts:
+            np.testing.assert_allclose(p.grad, np.ones((2, 3)))
+
+    def test_no_grad_inside_module_forward(self):
+        from repro import nn
+
+        layer = nn.Linear(3, 2, rng=RNG)
+        with no_grad():
+            out = layer(Tensor(RNG.normal(size=(4, 3))))
+        assert not out.requires_grad
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4))
+    def test_broadcast_add_shapes(self, a, b, c):
+        x = RNG.normal(size=(a, 1, c))
+        y = RNG.normal(size=(1, b, 1))
+        gradient_check(lambda t, u: (t + u).sum(), [x, y])
+
+    def test_division_by_tensor_grad(self):
+        gradient_check(
+            lambda a, b: (a / (b * b + 1.0)).sum(),
+            [RNG.normal(size=(3, 3)), RNG.normal(size=(3, 3))],
+        )
+
+    def test_tensor_repr_and_dir(self):
+        t = Tensor([1.0], requires_grad=True)
+        assert "requires_grad" in repr(t)
+        import repro
+
+        assert "IAM" in dir(repro)
+        with pytest.raises(AttributeError):
+            repro.nonexistent_attribute

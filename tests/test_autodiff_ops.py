@@ -1,0 +1,206 @@
+"""Structured ops: activations, log-space reductions, gather/embedding,
+concat/stack — values against numpy, gradients against finite differences,
+plus hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autodiff import (
+    Tensor,
+    concat,
+    embedding,
+    gather,
+    gradient_check,
+    log_softmax,
+    logsumexp,
+    maximum,
+    relu,
+    sigmoid,
+    softmax,
+    stack,
+    tanh,
+    where,
+)
+from repro.errors import ShapeError
+
+RNG = np.random.default_rng(42)
+
+small_floats = hnp.arrays(
+    np.float64,
+    hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=5),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+class TestActivations:
+    def test_relu_values(self):
+        out = relu(Tensor([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out.numpy(), [0.0, 0.0, 2.0])
+
+    def test_relu_grad(self):
+        gradient_check(lambda x: relu(x).sum(), [RNG.normal(size=(5,)) + 0.3])
+
+    def test_sigmoid_extremes_stable(self):
+        out = sigmoid(Tensor([-1000.0, 1000.0]))
+        np.testing.assert_allclose(out.numpy(), [0.0, 1.0], atol=1e-12)
+        assert np.isfinite(out.numpy()).all()
+
+    def test_sigmoid_grad(self):
+        gradient_check(lambda x: sigmoid(x).sum(), [RNG.normal(size=(4,))])
+
+    def test_tanh_grad(self):
+        gradient_check(lambda x: (tanh(x) ** 2).sum(), [RNG.normal(size=(4,))])
+
+    def test_maximum_values_and_grad(self):
+        a, b = RNG.normal(size=(3, 3)), RNG.normal(size=(3, 3))
+        out = maximum(Tensor(a), Tensor(b))
+        np.testing.assert_allclose(out.numpy(), np.maximum(a, b))
+        gradient_check(lambda x, y: maximum(x, y).sum(), [a, b])
+
+    def test_where_selects(self):
+        cond = np.array([True, False])
+        out = where(cond, Tensor([1.0, 1.0]), Tensor([2.0, 2.0]))
+        np.testing.assert_allclose(out.numpy(), [1.0, 2.0])
+
+    def test_where_grad(self):
+        cond = RNG.random((3, 3)) > 0.5
+        gradient_check(lambda a, b: where(cond, a, b).sum(),
+                       [RNG.normal(size=(3, 3)), RNG.normal(size=(3, 3))])
+
+
+class TestLogSpace:
+    def test_logsumexp_matches_scipy(self):
+        from scipy.special import logsumexp as sp
+
+        x = RNG.normal(size=(4, 6)) * 10
+        np.testing.assert_allclose(logsumexp(Tensor(x), axis=1).numpy(), sp(x, axis=1))
+
+    def test_logsumexp_keepdims(self):
+        x = RNG.normal(size=(2, 3))
+        assert logsumexp(Tensor(x), axis=1, keepdims=True).shape == (2, 1)
+
+    def test_logsumexp_extreme_values_stable(self):
+        x = np.array([[1e4, 1e4 - 1.0]])
+        out = logsumexp(Tensor(x), axis=1).numpy()
+        assert np.isfinite(out).all()
+
+    def test_logsumexp_all_neg_inf_guarded(self):
+        x = np.full((1, 3), -np.inf)
+        out = logsumexp(Tensor(x), axis=1).numpy()
+        assert out[0] == -np.inf
+
+    def test_logsumexp_grad(self):
+        gradient_check(lambda x: logsumexp(x, axis=1).sum(), [RNG.normal(size=(3, 4))])
+
+    def test_log_softmax_normalises(self):
+        out = log_softmax(Tensor(RNG.normal(size=(5, 7))), axis=-1)
+        sums = np.exp(out.numpy()).sum(axis=1)
+        np.testing.assert_allclose(sums, 1.0)
+
+    def test_log_softmax_grad(self):
+        gradient_check(lambda x: (log_softmax(x) ** 2).sum(), [RNG.normal(size=(3, 4))])
+
+    def test_softmax_sums_to_one(self):
+        out = softmax(Tensor(RNG.normal(size=(4, 5)) * 30), axis=-1).numpy()
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+        assert (out >= 0).all()
+
+    def test_softmax_grad(self):
+        weights = np.arange(5.0)
+        gradient_check(lambda x: (softmax(x, axis=1) * weights).sum(),
+                       [RNG.normal(size=(3, 5))])
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_floats)
+    def test_softmax_property_rows_normalised(self, x):
+        out = softmax(Tensor(x), axis=-1).numpy()
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_floats)
+    def test_logsumexp_property_upper_bounds_max(self, x):
+        out = logsumexp(Tensor(x), axis=-1).numpy()
+        assert (out >= x.max(axis=-1) - 1e-9).all()
+        assert (out <= x.max(axis=-1) + np.log(x.shape[-1]) + 1e-9).all()
+
+
+class TestIndexing:
+    def test_gather_values(self):
+        x = np.arange(12.0).reshape(3, 4)
+        idx = np.array([1, 0, 3])
+        out = gather(Tensor(x), idx, axis=-1)
+        np.testing.assert_allclose(out.numpy().ravel(), [1.0, 4.0, 11.0])
+
+    def test_gather_grad(self):
+        idx = np.array([0, 2, 1])
+        gradient_check(lambda x: gather(x, idx, axis=1).sum(), [RNG.normal(size=(3, 4))])
+
+    def test_embedding_values(self):
+        w = np.arange(10.0).reshape(5, 2)
+        out = embedding(Tensor(w), np.array([4, 0]))
+        np.testing.assert_allclose(out.numpy(), [[8.0, 9.0], [0.0, 1.0]])
+
+    def test_embedding_rejects_float_indices(self):
+        with pytest.raises(ShapeError):
+            embedding(Tensor(np.zeros((3, 2))), np.array([0.5]))
+
+    def test_embedding_grad_repeated_rows(self):
+        w = Tensor(np.ones((3, 2)), requires_grad=True)
+        embedding(w, np.array([1, 1, 2])).sum().backward()
+        np.testing.assert_allclose(w.grad, [[0, 0], [2, 2], [1, 1]])
+
+    def test_embedding_grad_check(self):
+        idx = np.array([0, 1, 0, 2])
+        gradient_check(lambda w: (embedding(w, idx) ** 2).sum(), [RNG.normal(size=(3, 4))])
+
+
+class TestConcatStack:
+    def test_concat_values(self):
+        a, b = np.ones((2, 2)), np.zeros((2, 3))
+        out = concat([Tensor(a), Tensor(b)], axis=1)
+        assert out.shape == (2, 5)
+
+    def test_concat_grad_split(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        (concat([a, b], axis=1) * np.arange(5.0)).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0, 1], [0, 1]])
+        np.testing.assert_allclose(b.grad, [[2, 3, 4], [2, 3, 4]])
+
+    def test_stack_values_and_grad(self):
+        xs = [RNG.normal(size=(3,)) for _ in range(4)]
+        out = stack([Tensor(x) for x in xs], axis=0)
+        np.testing.assert_allclose(out.numpy(), np.stack(xs))
+        gradient_check(lambda a, b: (stack([a, b]) ** 2).sum(), [xs[0], xs[1]])
+
+
+class TestCompositeGradients:
+    """End-to-end gradient checks of compositions used by the models."""
+
+    def test_gmm_nll_composition(self):
+        x = RNG.normal(size=(8, 1))
+
+        def nll(logits, means, log_stds):
+            log_w = log_softmax(logits.reshape(1, -1), axis=-1)
+            inv_var = (log_stds * (-2.0)).exp()
+            quad = (Tensor(x) - means.reshape(1, -1)) ** 2 * inv_var
+            joint = log_w + (log_stds * (-1.0)) - 0.5 * quad
+            return -logsumexp(joint, axis=1).mean()
+
+        gradient_check(
+            nll,
+            [RNG.normal(size=3), RNG.normal(size=3), RNG.normal(size=3) * 0.1],
+            rtol=1e-3,
+        )
+
+    def test_cross_entropy_composition(self):
+        targets = np.array([0, 2, 1])
+
+        def ce(logits):
+            logp = log_softmax(logits, axis=-1)
+            return -gather(logp, targets, axis=-1).mean()
+
+        gradient_check(ce, [RNG.normal(size=(3, 4))])

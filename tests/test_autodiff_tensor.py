@@ -1,0 +1,213 @@
+"""Unit tests for the Tensor core: ops, broadcasting, backward."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gradient_check, no_grad, is_grad_enabled
+from repro.errors import GradientError, ShapeError
+
+RNG = np.random.default_rng(0)
+
+
+class TestConstruction:
+    def test_wraps_lists(self):
+        t = Tensor([1.0, 2.0])
+        assert t.shape == (2,)
+        assert t.dtype == np.float64
+
+    def test_int_input_promoted_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype.kind == "f"
+
+    def test_requires_grad_default_off(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_detach_cuts_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_item_scalar(self):
+        assert Tensor([3.5]).item() == 3.5
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((3, 4)))
+        assert len(t) == 3
+        assert t.size == 12
+        assert t.ndim == 2
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.numpy(), [4.0, 6.0])
+
+    def test_radd_scalar(self):
+        out = 1.0 + Tensor([1.0])
+        np.testing.assert_allclose(out.numpy(), [2.0])
+
+    def test_sub_and_rsub(self):
+        np.testing.assert_allclose((Tensor([3.0]) - 1.0).numpy(), [2.0])
+        np.testing.assert_allclose((5.0 - Tensor([3.0])).numpy(), [2.0])
+
+    def test_mul_div(self):
+        np.testing.assert_allclose((Tensor([2.0]) * 3.0).numpy(), [6.0])
+        np.testing.assert_allclose((Tensor([6.0]) / 3.0).numpy(), [2.0])
+        np.testing.assert_allclose((6.0 / Tensor([3.0])).numpy(), [2.0])
+
+    def test_pow_scalar_only(self):
+        np.testing.assert_allclose((Tensor([3.0]) ** 2).numpy(), [9.0])
+        with pytest.raises(ShapeError):
+            Tensor([1.0]) ** np.array([1.0, 2.0])
+
+    def test_matmul_requires_2d(self):
+        with pytest.raises(ShapeError):
+            Tensor(np.zeros(3)) @ Tensor(np.zeros((3, 2)))
+
+    def test_comparisons_return_numpy(self):
+        mask = Tensor([1.0, 3.0]) > 2.0
+        assert isinstance(mask, np.ndarray)
+        assert mask.tolist() == [False, True]
+
+
+class TestBackward:
+    def test_requires_grad_propagates(self):
+        a = Tensor([1.0], requires_grad=True)
+        assert (a + 1.0).requires_grad
+        assert (Tensor([1.0]) + Tensor([1.0])).requires_grad is False
+
+    def test_scalar_backward_default_grad(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        (a * a).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0, 6.0])
+
+    def test_backward_on_nonscalar_needs_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(GradientError):
+            (a * 2).backward()
+
+    def test_backward_without_requires_grad_raises(self):
+        with pytest.raises(GradientError):
+            Tensor([1.0]).backward()
+
+    def test_explicit_gradient_shape_checked(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a * 2
+        with pytest.raises(ShapeError):
+            out.backward(np.ones(3))
+
+    def test_grad_accumulates_over_reuse(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = (a * 2) + (a * 3)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph(self):
+        # f = (a+a) * a -> df/da = 4a
+        a = Tensor([3.0], requires_grad=True)
+        ((a + a) * a).sum().backward()
+        np.testing.assert_allclose(a.grad, [12.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = a
+        for _ in range(3000):
+            out = out + 0.001
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+
+class TestBroadcasting:
+    def test_row_broadcast_grad(self):
+        gradient_check(
+            lambda a, b: (a + b).sum(), [RNG.normal(size=(3, 4)), RNG.normal(size=(4,))]
+        )
+
+    def test_column_broadcast_grad(self):
+        gradient_check(
+            lambda a, b: (a * b).sum(),
+            [RNG.normal(size=(3, 1)), RNG.normal(size=(3, 5))],
+        )
+
+    def test_scalar_broadcast_grad(self):
+        gradient_check(
+            lambda a, b: (a / (b * b + 1.0)).sum(),
+            [RNG.normal(size=(2, 3)), RNG.normal(size=(1,))],
+        )
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        assert t.sum(axis=1).shape == (2,)
+        assert t.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean_matches_numpy(self):
+        x = RNG.normal(size=(4, 5))
+        np.testing.assert_allclose(Tensor(x).mean(axis=0).numpy(), x.mean(axis=0))
+
+    def test_mean_grad(self):
+        gradient_check(lambda x: (x.mean(axis=1) ** 2).sum(), [RNG.normal(size=(3, 4))])
+
+    def test_max_grad_with_ties(self):
+        x = np.array([[1.0, 1.0, 0.5]])
+        t = Tensor(x, requires_grad=True)
+        t.max(axis=1).sum().backward()
+        # Tie gradient split conserves the total.
+        assert t.grad.sum() == pytest.approx(1.0)
+
+    def test_reshape_grad(self):
+        gradient_check(lambda x: (x.reshape(6) ** 2).sum(), [RNG.normal(size=(2, 3))])
+
+    def test_transpose_grad(self):
+        gradient_check(lambda x: (x.T @ x).sum(), [RNG.normal(size=(3, 4))])
+
+    def test_getitem_grad(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x[0].sum().backward()
+        np.testing.assert_allclose(x.grad, [[1, 1, 1], [0, 0, 0]])
+
+    def test_getitem_repeated_index_accumulates(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        x[np.array([0, 0, 1])].sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 1.0, 0.0])
+
+    def test_abs_grad(self):
+        gradient_check(lambda x: x.abs().sum(), [RNG.normal(size=(4,)) + 0.5])
+
+    def test_exp_log_sqrt(self):
+        gradient_check(lambda x: (x.exp() + x.log() + x.sqrt()).sum(),
+                       [np.abs(RNG.normal(size=(4,))) + 0.5])
+
+
+class TestNoGrad:
+    def test_no_grad_suppresses_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_nested(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_new_tensor_in_no_grad_cannot_require_grad(self):
+        with no_grad():
+            t = Tensor([1.0], requires_grad=True)
+        assert not t.requires_grad

@@ -1,0 +1,203 @@
+"""Data layer: Table/Column, ordinal codec, discretisation, statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data import (
+    Column,
+    ColumnKind,
+    OrdinalCodec,
+    Table,
+    discretize,
+    equal_depth_edges,
+    equal_width_bins,
+    fisher_skewness,
+    ncie,
+    table_skewness,
+)
+from repro.errors import ConfigError, QueryError, SchemaError
+
+RNG = np.random.default_rng(0)
+
+
+class TestColumn:
+    def test_rejects_2d(self):
+        with pytest.raises(SchemaError):
+            Column("x", np.zeros((2, 2)))
+
+    def test_kind_from_string(self):
+        c = Column("x", np.zeros(3), "categorical")
+        assert c.kind is ColumnKind.CATEGORICAL
+
+    def test_distinct_cached_and_sorted(self):
+        c = Column("x", np.array([3.0, 1.0, 3.0, 2.0]))
+        np.testing.assert_array_equal(c.distinct_values, [1.0, 2.0, 3.0])
+        assert c.domain_size == 3
+
+    def test_min_max(self):
+        c = Column("x", np.array([3.0, -1.0]))
+        assert c.min == -1.0 and c.max == 3.0
+
+
+class TestTable:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column("a", np.zeros(2)), Column("a", np.zeros(2))])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column("a", np.zeros(2)), Column("b", np.zeros(3))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [])
+
+    def test_getitem_unknown(self):
+        t = Table("t", [Column("a", np.zeros(2))])
+        with pytest.raises(SchemaError):
+            t["b"]
+        assert "a" in t and "b" not in t
+
+    def test_from_mapping_kind_inference(self):
+        t = Table.from_mapping("t", {"i": np.array([1, 2]), "f": np.array([1.0, 2.0])})
+        assert not t["i"].is_continuous()
+        assert t["f"].is_continuous()
+
+    def test_as_matrix_column_subset(self):
+        t = Table.from_mapping("t", {"a": np.array([1.0, 2.0]), "b": np.array([3.0, 4.0])})
+        m = t.as_matrix(["b"])
+        np.testing.assert_array_equal(m, [[3.0], [4.0]])
+
+    def test_sample_rows_without_replacement(self):
+        t = Table.from_mapping("t", {"a": np.arange(100, dtype=np.float64)})
+        s = t.sample_rows(50, rng=np.random.default_rng(0))
+        assert s.num_rows == 50
+        assert len(np.unique(s["a"].values)) == 50
+
+    def test_take_preserves_kinds(self):
+        t = Table.from_mapping("t", {"a": np.array([1, 2, 3])})
+        s = t.take(np.array([0, 2]))
+        assert s["a"].kind is ColumnKind.CATEGORICAL
+        np.testing.assert_array_equal(s["a"].values, [1, 3])
+
+    def test_joint_domain_size(self):
+        t = Table.from_mapping(
+            "t", {"a": np.array([1, 2, 1]), "b": np.array([1.0, 2.0, 3.0])}
+        )
+        assert t.joint_domain_size() == 6.0
+
+
+class TestOrdinalCodec:
+    def test_roundtrip(self):
+        codec = OrdinalCodec(np.array([5.0, 1.0, 3.0]))
+        tokens = codec.encode(np.array([3.0, 1.0, 5.0]))
+        np.testing.assert_array_equal(tokens, [1, 0, 2])
+        np.testing.assert_array_equal(codec.decode(tokens), [3.0, 1.0, 5.0])
+
+    def test_encode_unknown_value_rejected(self):
+        codec = OrdinalCodec(np.array([1.0, 2.0]))
+        with pytest.raises(QueryError):
+            codec.encode(np.array([1.5]))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(QueryError):
+            OrdinalCodec(np.array([]))
+
+    def test_range_to_tokens_inclusive(self):
+        codec = OrdinalCodec(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert codec.range_to_tokens(2.0, 3.0) == (1, 2)
+        assert codec.range_to_tokens(1.5, 3.5) == (1, 2)
+
+    def test_range_to_tokens_empty(self):
+        codec = OrdinalCodec(np.array([1.0, 2.0]))
+        lo, hi = codec.range_to_tokens(1.2, 1.8)
+        assert lo > hi
+
+    def test_range_mask(self):
+        codec = OrdinalCodec(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_array_equal(codec.range_mask(2.0, 9.0), [0.0, 1.0, 1.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 40),
+                   elements=st.floats(-100, 100, allow_nan=False)),
+        st.floats(-120, 120), st.floats(0, 100),
+    )
+    def test_mask_matches_direct_count(self, values, low, width):
+        codec = OrdinalCodec(values)
+        high = low + width
+        mask = codec.range_mask(low, high)
+        direct = (codec.distinct_values >= low) & (codec.distinct_values <= high)
+        np.testing.assert_array_equal(mask.astype(bool), direct)
+
+
+class TestDiscretize:
+    def test_equal_width_edges(self):
+        edges = equal_width_bins(np.array([0.0, 10.0]), 5)
+        np.testing.assert_allclose(edges, [0, 2, 4, 6, 8, 10])
+
+    def test_equal_width_constant_column(self):
+        edges = equal_width_bins(np.full(10, 3.0), 4)
+        assert edges[0] < 3.0 < edges[-1]
+
+    def test_equal_depth_balances(self):
+        x = RNG.normal(size=5000)
+        edges = equal_depth_edges(x, 10)
+        ids = discretize(x, edges)
+        counts = np.bincount(ids)
+        assert counts.min() > 300  # roughly balanced
+
+    def test_equal_depth_collapses_ties(self):
+        x = np.concatenate([np.zeros(100), np.ones(5)])
+        edges = equal_depth_edges(x, 10)
+        assert len(edges) < 11
+
+    def test_discretize_clips(self):
+        edges = np.array([0.0, 1.0, 2.0])
+        ids = discretize(np.array([-5.0, 0.5, 5.0]), edges)
+        np.testing.assert_array_equal(ids, [0, 0, 1])
+
+    def test_invalid_bins(self):
+        with pytest.raises(ConfigError):
+            equal_width_bins(np.zeros(3), 0)
+        with pytest.raises(ConfigError):
+            equal_depth_edges(np.zeros(3), 0)
+
+
+class TestStats:
+    def test_skewness_symmetric_is_zero(self):
+        x = RNG.normal(size=100_000)
+        assert abs(fisher_skewness(x)) < 0.05
+
+    def test_skewness_exponential_is_two(self):
+        x = RNG.exponential(size=200_000)
+        assert fisher_skewness(x) == pytest.approx(2.0, abs=0.15)
+
+    def test_skewness_constant_zero(self):
+        assert fisher_skewness(np.full(10, 2.0)) == 0.0
+
+    def test_table_skewness_picks_largest_magnitude(self):
+        t = Table.from_mapping(
+            "t",
+            {
+                "sym": RNG.normal(size=5000),
+                "skew": RNG.lognormal(0, 1.5, size=5000),
+            },
+        )
+        assert table_skewness(t) > 3.0
+
+    def test_ncie_independent_near_one(self):
+        m = RNG.normal(size=(5000, 3))
+        assert ncie(m) > 0.95
+
+    def test_ncie_identical_columns_smaller(self):
+        x = RNG.normal(size=5000)
+        dependent = np.column_stack([x, x, x])
+        independent = RNG.normal(size=(5000, 3))
+        assert ncie(dependent) < ncie(independent) - 0.1
+
+    def test_ncie_single_column(self):
+        assert ncie(RNG.normal(size=(100, 1))) == 1.0

@@ -1,0 +1,134 @@
+"""Dataset generators: schema shape, statistical regimes, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.data.stats import fisher_skewness, ncie, table_skewness
+from repro.datasets import DATASETS, load_dataset, make_higgs, make_twi, make_wisdm
+from repro.datasets.imdb import make_imdb
+from repro.datasets.synthetic import quantize, zipf_weights
+from repro.errors import ConfigError
+
+
+class TestHelpers:
+    def test_quantize_bounds_distincts(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=10_000)
+        q = quantize(x, 1)
+        assert len(np.unique(q)) < 200
+
+    def test_zipf_weights_normalised_and_decreasing(self):
+        w = zipf_weights(10)
+        assert w.sum() == pytest.approx(1.0)
+        assert (np.diff(w) < 0).all()
+
+
+class TestWISDM:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return make_wisdm(8000, seed=0)
+
+    def test_schema(self, table):
+        assert table.column_names == ["subject_id", "activity_code", "x", "y", "z"]
+        assert table["subject_id"].domain_size <= 51
+        assert table["activity_code"].domain_size <= 18
+        assert not table["subject_id"].is_continuous()
+        assert table["x"].is_continuous()
+
+    def test_large_continuous_domains(self, table):
+        assert table["x"].domain_size > 1000
+
+    def test_positive_skeWness_regime(self, table):
+        assert 1.0 < table_skewness(table) < 15.0
+
+    def test_strong_correlation_regime(self, table):
+        assert ncie(table.as_matrix()) < 0.96
+
+    def test_deterministic(self):
+        a = make_wisdm(500, seed=5)
+        b = make_wisdm(500, seed=5)
+        np.testing.assert_array_equal(a["x"].values, b["x"].values)
+
+
+class TestTWI:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return make_twi(8000, seed=0)
+
+    def test_schema(self, table):
+        assert table.column_names == ["latitude", "longitude"]
+        assert all(c.is_continuous() for c in table)
+
+    def test_coordinates_in_us_bbox(self, table):
+        assert table["latitude"].min >= 25.0 and table["latitude"].max <= 49.0
+        assert table["longitude"].min >= -124.0 and table["longitude"].max <= -67.0
+
+    def test_mild_skew(self, table):
+        assert abs(table_skewness(table)) < 2.0
+
+    def test_clustered_not_uniform(self, table):
+        # City clustering concentrates mass: the densest 1-degree lat band
+        # holds far more than the uniform share.
+        lat = table["latitude"].values
+        counts, _ = np.histogram(lat, bins=24)
+        assert counts.max() > 3 * counts.mean()
+
+
+class TestHIGGS:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return make_higgs(8000, seed=0)
+
+    def test_schema(self, table):
+        assert table.num_columns == 7
+        assert all(c.is_continuous() for c in table)
+
+    def test_positive_values(self, table):
+        for c in table:
+            assert c.min > 0
+
+    def test_extreme_skew_regime(self, table):
+        assert table_skewness(table) > 20.0
+
+    def test_weak_correlation_regime(self, table):
+        assert ncie(table.as_matrix()) > 0.97
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(DATASETS) == {"wisdm", "twi", "higgs"}
+
+    def test_load_dataset(self):
+        t = load_dataset("twi", n_rows=100, seed=1)
+        assert t.num_rows == 100
+
+    def test_unknown(self):
+        with pytest.raises(ConfigError):
+            load_dataset("imdb2000")
+
+
+class TestIMDB:
+    @pytest.fixture(scope="class")
+    def schema(self):
+        return make_imdb(n_titles=500, n_movie_info=1500, n_cast_info=2000,
+                         n_movie_keyword=1000, seed=0)
+
+    def test_tables(self, schema):
+        assert set(schema.tables) == {"title", "movie_info", "cast_info", "movie_keyword"}
+
+    def test_hub_has_continuous_columns(self, schema):
+        assert schema.hub["latitude"].is_continuous()
+        assert schema.hub["latitude"].domain_size > 300
+
+    def test_fanouts_skewed_with_zeros(self, schema):
+        counts = schema.fanout_counts(schema.satellites[0])
+        assert (counts == 0).any()
+        assert counts.max() > 5 * max(counts.mean(), 1)
+
+    def test_full_join_bigger_than_hub(self, schema):
+        assert schema.full_join_size() > schema.hub.num_rows
+
+    def test_optional_keyword_table(self):
+        schema = make_imdb(n_titles=200, n_movie_info=400, n_cast_info=400,
+                           n_movie_keyword=0, seed=0)
+        assert "movie_keyword" not in schema.tables

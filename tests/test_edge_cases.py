@@ -1,0 +1,134 @@
+"""Edge-case coverage across modules."""
+
+import numpy as np
+import pytest
+
+from repro.ar.made import _embed_width, build_made
+from repro.core import IAM, IAMConfig
+from repro.core.aqp import AQPEngine
+from repro.data.table import Table
+from repro.errors import ConfigError, SchemaError
+from repro.estimators import KDE, Postgres1D
+from repro.query import Query, Workload
+from repro.query.predicate import Op, Predicate
+from tests.conftest import FAST_IAM
+
+RNG = np.random.default_rng(0)
+
+
+class TestEmbedWidth:
+    def test_fixed_capped_by_vocab(self):
+        assert _embed_width(2, 16) == 3
+
+    def test_auto_grows_with_vocab(self):
+        assert _embed_width(10, "auto") < _embed_width(10_000, "auto")
+
+    def test_auto_bounded(self):
+        assert _embed_width(10**12, "auto") <= 64
+        assert _embed_width(2, "auto") >= 3
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigError):
+            _embed_width(5, 0)
+        with pytest.raises(ConfigError):
+            _embed_width(5, "huge")
+
+    def test_auto_model_trains(self):
+        model = build_made([50, 5], hidden_sizes=(16, 16), embed_dim="auto", seed=0)
+        from repro.ar import ARTrainer, TrainConfig
+
+        tokens = np.column_stack([RNG.integers(0, 50, 300), RNG.integers(0, 5, 300)])
+        losses = ARTrainer(model, TrainConfig(epochs=2, seed=0)).train(tokens)
+        assert losses[-1] <= losses[0] + 0.1
+
+
+class TestPredicateEdges:
+    def test_neq_with_explicit_epsilon(self):
+        pieces = Predicate("x", Op.NEQ, 5.0).intervals(
+            domain_min=0.0, domain_max=10.0, neq_epsilon=0.5
+        )
+        assert pieces[0][1] == 4.5
+        assert pieces[1][0] == 5.5
+
+    def test_lt_nextafter_tightness(self):
+        (_, hi), = Predicate("x", Op.LT, 1.0).intervals()
+        assert hi < 1.0
+        assert 1.0 - hi < 1e-12
+
+
+class TestQueryEdges:
+    def test_unknown_column_raises_schema_error(self, tiny_table):
+        q = Query.from_pairs([("nonexistent", "<=", 1.0)])
+        with pytest.raises(SchemaError):
+            q.constraints(tiny_table)
+
+    def test_conflicting_eq_predicates_empty(self, tiny_table):
+        q = Query.from_pairs([("a", "=", 1), ("a", "=", 2)])
+        assert q.constraints(tiny_table)["a"].is_empty
+
+
+class TestIAMEdges:
+    def test_all_exact_columns_still_works(self):
+        t = Table.from_mapping(
+            "small",
+            {"a": RNG.integers(0, 4, 800), "b": RNG.integers(0, 3, 800)},
+        )
+        model = IAM(IAMConfig(**{**FAST_IAM, "gmm_domain_threshold": 10**9, "epochs": 2})).fit(t)
+        q = Query.from_pairs([("a", "=", 1)])
+        truth = (t["a"].values == 1).mean()
+        assert model.estimate(q) == pytest.approx(truth, rel=0.5)
+
+    def test_single_column_table(self):
+        t = Table.from_mapping("one", {"x": np.round(RNG.normal(size=1500), 3)})
+        model = IAM(IAMConfig(**{**FAST_IAM, "epochs": 2})).fit(t)
+        q = Query.from_pairs([("x", "<=", 0.0)])
+        assert model.estimate(q) == pytest.approx(0.5, abs=0.15)
+
+    def test_aqp_custom_sample_count(self, fitted_iam):
+        engine = AQPEngine(fitted_iam)
+        q = Query.from_pairs([("latitude", "<=", 40.0)])
+        result = engine.aggregate("longitude", q, n_samples=32)
+        assert np.isfinite(result.avg)
+
+
+class TestClassicEdges:
+    def test_postgres_constant_column(self):
+        t = Table.from_mapping("const", {"x": np.full(500, 7.0), "y": RNG.normal(size=500)})
+        est = Postgres1D().fit(t)
+        assert est.estimate(Query.from_pairs([("x", "=", 7.0)])) == pytest.approx(1.0)
+        assert est.estimate(Query.from_pairs([("x", "=", 8.0)])) == pytest.approx(
+            1.0 / 500
+        )
+
+    def test_postgres_mcv_covers_tiny_domain(self):
+        t = Table.from_mapping("tiny", {"x": RNG.integers(0, 3, 900)})
+        est = Postgres1D(n_mcv=100).fit(t)
+        for v in range(3):
+            q = Query.from_pairs([("x", "=", v)])
+            truth = (t["x"].values == v).mean()
+            assert est.estimate(q) == pytest.approx(truth, rel=0.01)
+
+    def test_kde_constant_column_survives(self):
+        t = Table.from_mapping("c", {"x": np.full(400, 1.0), "y": RNG.normal(size=400)})
+        est = KDE(n_kernels=200, tune_bandwidth=False, seed=0).fit(t)
+        q = Query.from_pairs([("y", "<=", 0.0)])
+        assert 0.2 < est.estimate(q) < 0.8
+
+
+class TestReportRecording:
+    def test_record_table_writes_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        from repro.bench import record_table
+
+        text = record_table("unit_test_table", ["a"], [[1]], title="T")
+        assert (tmp_path / "unit_test_table.txt").read_text().startswith("T")
+        assert "T" in capsys.readouterr().out
+        assert text.startswith("T")
+
+
+class TestWorkloadDeterminism:
+    def test_same_seed_same_workload(self, tiny_table):
+        a = Workload.generate(tiny_table, 8, seed=11)
+        b = Workload.generate(tiny_table, 8, seed=11)
+        np.testing.assert_array_equal(a.true_selectivities, b.true_selectivities)
+        assert [str(q) for q in a.queries] == [str(q) for q in b.queries]

@@ -1,0 +1,274 @@
+"""Baseline estimators: fit/estimate contracts and method-specific
+behaviour (independence failure, uniformity failure, query-driven needs)."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.errors import ConfigError, NotFittedError
+from repro.estimators import (
+    ESTIMATORS,
+    BayesNet,
+    KDE,
+    MHist,
+    MSCN,
+    NaruEstimator,
+    Postgres1D,
+    QuickSel,
+    Sampling,
+    SPNEstimator,
+    build_estimator,
+)
+from repro.estimators.registry import QUERY_DRIVEN
+from repro.metrics import q_errors
+from repro.query import Query, Workload
+from repro.query.executor import true_selectivity
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def correlated_table():
+    """b is a deterministic function of a: independence assumptions fail."""
+    rng = np.random.default_rng(2)
+    a = rng.integers(0, 8, 4000)
+    b = a  # perfectly correlated
+    x = np.round(rng.normal(a.astype(float), 0.3), 3)
+    return Table.from_mapping("corr", {"a": a, "b": b, "x": x})
+
+
+@pytest.fixture(scope="module")
+def workloads(correlated_table):
+    train = Workload.generate(correlated_table, 200, seed=10)
+    test = Workload.generate(correlated_table, 40, seed=11)
+    return train, test
+
+
+FAST_KWARGS = {
+    "oracle": dict(),
+    "sampling": dict(fraction=0.05, seed=0),
+    "postgres": dict(),
+    "mhist": dict(n_buckets=150, seed=0),
+    "bayesnet": dict(max_bins=32, seed=0),
+    "kde": dict(n_kernels=500, seed=0),
+    "quicksel": dict(max_buckets=100, seed=0),
+    "mscn": dict(epochs=15, hidden=32, n_bitmap_rows=200, seed=0),
+    "modelqe": dict(n_estimators=60, seed=0),
+    "deepdb": dict(min_rows=256, seed=0),
+    "naru": dict(epochs=4, hidden_sizes=(32, 32, 32), n_progressive_samples=256,
+                 learning_rate=1e-2, factorize_threshold=500, seed=0),
+    "uae": dict(epochs=3, hidden_sizes=(24, 24, 24), n_progressive_samples=128,
+                learning_rate=1e-2, factorize_threshold=500, seed=0),
+    "uae-q": dict(epochs=8, hidden_sizes=(24, 24, 24), n_progressive_samples=128,
+                  learning_rate=1e-2, factorize_threshold=500, seed=0),
+    "iam": dict(epochs=2, hidden_sizes=(24, 24, 24), n_progressive_samples=128,
+                learning_rate=1e-2, n_components=8, samples_per_component=500,
+                gmm_domain_threshold=500, seed=0),
+    "iam-multigmm": dict(epochs=2, hidden_sizes=(24, 24, 24), n_progressive_samples=128,
+                         learning_rate=1e-2, n_components=8,
+                         gmm_domain_threshold=500, seed=0),
+}
+
+
+class TestRegistryContract:
+    """Every registered estimator obeys the common API."""
+
+    @pytest.fixture(params=sorted(ESTIMATORS), scope="class")
+    def fitted(self, request, correlated_table, workloads):
+        train, _ = workloads
+        estimator = build_estimator(request.param, **FAST_KWARGS[request.param])
+        workload = train if request.param in QUERY_DRIVEN else None
+        return estimator.fit(correlated_table, workload=workload)
+
+    def test_estimates_clamped(self, fitted, correlated_table, workloads):
+        _, test = workloads
+        estimates = fitted.estimate_many(test.queries[:10])
+        n = correlated_table.num_rows
+        assert (estimates >= 1.0 / n - 1e-12).all()
+        assert (estimates <= 1.0 + 1e-12).all()
+
+    def test_estimates_finite_and_deterministic_shape(self, fitted, workloads):
+        _, test = workloads
+        estimates = fitted.estimate_many(test.queries[:5])
+        assert estimates.shape == (5,)
+        assert np.isfinite(estimates).all()
+
+    def test_size_bytes_positive(self, fitted):
+        assert fitted.size_bytes() > 0
+
+    def test_timed_estimates(self, fitted, workloads):
+        _, test = workloads
+        estimates, ms = fitted.timed_estimates(test.queries[:5])
+        assert len(estimates) == 5 and ms >= 0
+
+    def test_median_not_absurd(self, fitted, correlated_table, workloads):
+        """Every estimator should at least track the median regime."""
+        _, test = workloads
+        estimates = fitted.estimate_many(test.queries)
+        errors = q_errors(test.true_selectivities, estimates, correlated_table.num_rows)
+        assert np.median(errors) < 50
+
+
+class TestUnknownEstimator:
+    def test_registry_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            build_estimator("oracle-9000")
+
+
+class TestSampling:
+    def test_requires_exactly_one_size_spec(self):
+        with pytest.raises(ConfigError):
+            Sampling()
+        with pytest.raises(ConfigError):
+            Sampling(fraction=0.1, n_rows=10)
+
+    def test_exact_on_sampled_rows(self, correlated_table):
+        est = Sampling(n_rows=correlated_table.num_rows, seed=0).fit(correlated_table)
+        q = Query.from_pairs([("a", "=", 3)])
+        assert est.estimate(q) == pytest.approx(true_selectivity(correlated_table, q))
+
+    def test_low_selectivity_floor_at_tail(self, correlated_table):
+        est = Sampling(n_rows=50, seed=0).fit(correlated_table)
+        q = Query.from_pairs([("x", ">=", 1e9)])
+        assert est.estimate(q) == 1.0 / correlated_table.num_rows
+
+
+class TestPostgres1D:
+    def test_exact_on_single_column(self, correlated_table):
+        est = Postgres1D().fit(correlated_table)
+        q = Query.from_pairs([("a", "=", 2)])
+        truth = true_selectivity(correlated_table, q)
+        assert est.estimate(q) == pytest.approx(truth, rel=0.05)
+
+    def test_independence_assumption_fails_on_correlation(self, correlated_table):
+        est = Postgres1D().fit(correlated_table)
+        q = Query.from_pairs([("a", "=", 2), ("b", "=", 2)])
+        truth = true_selectivity(correlated_table, q)
+        # Independence predicts truth^2 — a large underestimate.
+        assert est.estimate(q) < truth / 3
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            Postgres1D().estimate(Query.from_pairs([("a", "=", 1)]))
+
+
+class TestMHist:
+    def test_captures_correlation_better_than_independence(self, correlated_table):
+        mhist = MHist(n_buckets=200, seed=0).fit(correlated_table)
+        postgres = Postgres1D().fit(correlated_table)
+        q = Query.from_pairs([("a", "=", 2), ("b", "=", 2)])
+        truth = true_selectivity(correlated_table, q)
+        err_m = max(mhist.estimate(q) / truth, truth / mhist.estimate(q))
+        err_p = max(postgres.estimate(q) / truth, truth / postgres.estimate(q))
+        assert err_m < err_p
+
+    def test_bucket_budget_respected(self, correlated_table):
+        est = MHist(n_buckets=50, seed=0).fit(correlated_table)
+        assert len(est._buckets) <= 50
+
+
+class TestBayesNet:
+    def test_tree_captures_pairwise_dependence(self, correlated_table):
+        est = BayesNet(max_bins=16, seed=0).fit(correlated_table)
+        q = Query.from_pairs([("a", "=", 2), ("b", "=", 2)])
+        truth = true_selectivity(correlated_table, q)
+        assert est.estimate(q) == pytest.approx(truth, rel=0.5)
+
+    def test_single_column_table(self):
+        t = Table.from_mapping("one", {"a": RNG.integers(0, 5, 500)})
+        est = BayesNet(seed=0).fit(t)
+        q = Query.from_pairs([("a", "=", 1)])
+        assert est.estimate(q) == pytest.approx(true_selectivity(t, q), rel=0.3)
+
+
+class TestKDE:
+    def test_gaussian_box_accuracy(self):
+        rng = np.random.default_rng(5)
+        t = Table.from_mapping("g", {"x": rng.normal(size=3000), "y": rng.normal(size=3000)})
+        est = KDE(n_kernels=800, tune_bandwidth=False, seed=0).fit(t)
+        q = Query.from_pairs([("x", "<=", 0.0), ("y", "<=", 0.0)])
+        assert est.estimate(q) == pytest.approx(0.25, abs=0.05)
+
+    def test_bandwidth_tuning_improves_or_equal(self, correlated_table, workloads):
+        train, test = workloads
+        untuned = KDE(n_kernels=400, tune_bandwidth=False, seed=0).fit(correlated_table)
+        tuned = KDE(n_kernels=400, tune_bandwidth=True, seed=0).fit(
+            correlated_table, workload=train
+        )
+        def med(est):
+            e = est.estimate_many(test.queries)
+            return np.median(q_errors(test.true_selectivities, e, correlated_table.num_rows))
+        assert med(tuned) <= med(untuned) * 1.1
+
+
+class TestQueryDriven:
+    def test_quicksel_requires_workload(self, correlated_table):
+        with pytest.raises(NotFittedError):
+            QuickSel().fit(correlated_table)
+
+    def test_mscn_requires_workload(self, correlated_table):
+        with pytest.raises(NotFittedError):
+            MSCN().fit(correlated_table)
+
+    def test_mscn_learns_training_distribution(self, correlated_table, workloads):
+        train, _ = workloads
+        est = MSCN(epochs=30, hidden=32, n_bitmap_rows=200, seed=0).fit(
+            correlated_table, workload=train
+        )
+        estimates = est.estimate_many(train.queries[:50])
+        errors = q_errors(
+            train.true_selectivities[:50], estimates, correlated_table.num_rows
+        )
+        assert np.median(errors) < 4.0
+
+    def test_quicksel_weights_normalised(self, correlated_table, workloads):
+        train, _ = workloads
+        est = QuickSel(max_buckets=50, seed=0).fit(correlated_table, workload=train)
+        assert est._weights.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestSPN:
+    def test_product_split_on_independent_columns(self):
+        rng = np.random.default_rng(6)
+        t = Table.from_mapping(
+            "ind", {"x": rng.normal(size=3000), "y": rng.normal(size=3000)}
+        )
+        est = SPNEstimator(seed=0).fit(t)
+        q = Query.from_pairs([("x", "<=", 0.0), ("y", "<=", 0.0)])
+        assert est.estimate(q) == pytest.approx(0.25, abs=0.06)
+
+    def test_sum_split_on_clustered_rows(self):
+        rng = np.random.default_rng(7)
+        x = np.concatenate([rng.normal(-5, 1, 1500), rng.normal(5, 1, 1500)])
+        y = np.concatenate([rng.normal(-5, 1, 1500), rng.normal(5, 1, 1500)])
+        t = Table.from_mapping("clu", {"x": x, "y": y})
+        est = SPNEstimator(min_rows=300, seed=0).fit(t)
+        # In cluster terms x<=0 AND y>=0 is nearly empty; independence says 25%.
+        q = Query.from_pairs([("x", "<=", -2.0), ("y", ">=", 2.0)])
+        assert est.estimate(q) < 0.1
+
+
+class TestNaru:
+    @pytest.fixture(scope="class")
+    def naru(self, correlated_table):
+        return NaruEstimator(**FAST_KWARGS["naru"]).fit(correlated_table)
+
+    def test_factorizes_large_domain(self, naru, correlated_table):
+        # x has ~3000 distinct values > threshold 500 -> two slots.
+        assert len(naru._plan.vocab_sizes) == 4  # a, b, x_hi, x_lo
+
+    def test_correlated_equality_accuracy(self, naru, correlated_table):
+        q = Query.from_pairs([("a", "=", 2), ("b", "=", 2)])
+        truth = true_selectivity(correlated_table, q)
+        assert naru.estimate(q) == pytest.approx(truth, rel=0.6)
+
+    def test_range_on_factorized_column(self, naru, correlated_table):
+        x = correlated_table["x"]
+        mid = float(np.quantile(x.values, 0.3))
+        q = Query.from_pairs([("x", "<=", mid)])
+        truth = true_selectivity(correlated_table, q)
+        assert naru.estimate(q) == pytest.approx(truth, rel=0.4)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            NaruEstimator().estimate(Query.from_pairs([("a", "=", 1)]))

@@ -1,0 +1,140 @@
+"""Deeper, white-box estimator tests: BayesNet inference vs brute force,
+MSCN featurisation, SPN structure, the oracle."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.estimators import BayesNet, MSCN, SPNEstimator, build_estimator
+from repro.estimators.oracle import Oracle
+from repro.query import Op, Predicate, Query, Workload
+from repro.query.executor import true_selectivity
+
+RNG = np.random.default_rng(0)
+
+
+class TestOracle:
+    def test_returns_truth(self, tiny_table):
+        oracle = Oracle().fit(tiny_table)
+        w = Workload.generate(tiny_table, 15, seed=1)
+        for q, truth in w:
+            assert oracle.estimate(q) == pytest.approx(truth)
+
+    def test_registered(self, tiny_table):
+        assert build_estimator("oracle").fit(tiny_table).name == "oracle"
+
+
+class TestBayesNetExactInference:
+    """On a fully-discrete table with exact discretisation, tree
+    inference must equal brute-force summation over the CPTs."""
+
+    @pytest.fixture(scope="class")
+    def chain_data(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 3, 5000)
+        b = (a + rng.integers(0, 2, 5000)) % 3  # depends on a
+        c = (b + rng.integers(0, 2, 5000)) % 3  # depends on b
+        return Table.from_mapping("chain", {"a": a, "b": b, "c": c})
+
+    @pytest.fixture(scope="class")
+    def net(self, chain_data):
+        return BayesNet(max_bins=8, sample_rows=5000, smoothing=1e-6, seed=0).fit(
+            chain_data
+        )
+
+    def test_tree_follows_dependency_chain(self, net):
+        # Chow-Liu should connect a-b and b-c (the high-MI pairs).
+        edges = set(map(frozenset, net._tree.edges))
+        assert frozenset({0, 1}) in edges
+        assert frozenset({1, 2}) in edges
+
+    def test_point_query_matches_empirical(self, net, chain_data):
+        q = Query.from_pairs([("a", "=", 1), ("c", "=", 2)])
+        truth = true_selectivity(chain_data, q)
+        assert net.estimate(q) == pytest.approx(truth, rel=0.15)
+
+    def test_marginal_exact(self, net, chain_data):
+        q = Query.from_pairs([("b", "=", 0)])
+        truth = true_selectivity(chain_data, q)
+        assert net.estimate(q) == pytest.approx(truth, rel=0.05)
+
+    def test_full_domain_is_one(self, net):
+        q = Query.from_pairs([("a", ">=", 0)])
+        assert net.estimate(q) == pytest.approx(1.0, rel=1e-3)
+
+
+class TestMSCNFeaturisation:
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_table):
+        train = Workload.generate(tiny_table, 60, seed=5)
+        return MSCN(epochs=5, hidden=16, n_bitmap_rows=100, seed=0).fit(
+            tiny_table, workload=train
+        )
+
+    def test_predicate_features_shape(self, fitted, tiny_table):
+        q = Query.from_pairs([("a", "=", 1), ("x", "<=", 2.0)])
+        feats = fitted._predicate_features(q)
+        d = tiny_table.num_columns + 6 + 1  # cols + ops + value
+        assert feats.shape == (2, d)
+
+    def test_value_normalised_to_unit(self, fitted, tiny_table):
+        hi = tiny_table["x"].max
+        q = Query(predicates=[Predicate("x", Op.LE, hi)])
+        feats = fitted._predicate_features(q)
+        assert feats[0, -1] == pytest.approx(1.0)
+
+    def test_bitmap_counts_satisfying_sample_rows(self, fitted, tiny_table):
+        q = Query.from_pairs([("a", "=", 0)])
+        bitmap = fitted._bitmap(q)
+        frac = bitmap.mean()
+        truth = true_selectivity(tiny_table, q)
+        assert frac == pytest.approx(truth, abs=0.12)
+
+    def test_normalise_roundtrip(self, fitted):
+        sels = np.array([0.001, 0.1, 1.0])
+        np.testing.assert_allclose(
+            fitted._denormalise(fitted._normalise(sels)), sels, rtol=1e-9
+        )
+
+
+class TestSPNStructure:
+    def test_leaf_only_for_single_column(self):
+        t = Table.from_mapping("one", {"x": RNG.normal(size=600)})
+        est = SPNEstimator(seed=0).fit(t)
+        from repro.estimators.spn import _Leaf
+
+        assert isinstance(est._root, _Leaf)
+
+    def test_product_root_for_independent(self):
+        t = Table.from_mapping(
+            "ind", {"x": RNG.normal(size=3000), "y": RNG.normal(size=3000)}
+        )
+        est = SPNEstimator(seed=0).fit(t)
+        from repro.estimators.spn import _Product
+
+        assert isinstance(est._root, _Product)
+
+    def test_sum_node_weights_normalised(self):
+        x = np.concatenate([RNG.normal(-5, 1, 1500), RNG.normal(5, 1, 1500)])
+        y = x + RNG.normal(0, 0.3, 3000)
+        t = Table.from_mapping("clu", {"x": x, "y": y})
+        est = SPNEstimator(min_rows=300, seed=0).fit(t)
+        from repro.estimators.spn import _Sum
+
+        sums = [n for n in self._walk(est._root) if isinstance(n, _Sum)]
+        assert sums, "expected at least one sum node on clustered data"
+        for node in sums:
+            assert sum(node.weights) == pytest.approx(1.0, abs=1e-9)
+
+    def test_unconstrained_evaluates_to_one(self):
+        t = Table.from_mapping(
+            "t", {"x": RNG.normal(size=1000), "y": RNG.normal(size=1000)}
+        )
+        est = SPNEstimator(seed=0).fit(t)
+        assert est._root.evaluate({}) == pytest.approx(1.0, abs=1e-6)
+
+    @staticmethod
+    def _walk(node):
+        yield node
+        for child in getattr(node, "children", []):
+            yield from TestSPNStructure._walk(child)

@@ -1,0 +1,90 @@
+"""IAM.explain, join generator statistics, and remaining small paths."""
+
+import numpy as np
+import pytest
+
+from repro.joins.generator import JoinQueryGenerator, join_templates
+from repro.joins.sampler import FullJoinSample
+from repro.query import Query
+
+
+class TestExplain:
+    def test_reports_every_column(self, fitted_iam, twi_small):
+        q = Query.from_pairs([("latitude", "<=", 40.0)])
+        report = fitted_iam.explain(q)
+        assert [e["column"] for e in report] == twi_small.column_names
+
+    def test_marks_queried_columns(self, fitted_iam):
+        q = Query.from_pairs([("latitude", "<=", 40.0)])
+        report = {e["column"]: e for e in fitted_iam.explain(q)}
+        assert report["latitude"]["queried"]
+        assert not report["longitude"]["queried"]
+
+    def test_reports_reducer_and_tokens(self, fitted_iam):
+        q = Query.from_pairs([("latitude", "<=", 40.0)])
+        entry = fitted_iam.explain(q)[0]
+        assert entry["reducer"] == "GMMReducer"
+        assert entry["tokens"] == fitted_iam.reduced_domain_sizes()[0]
+        assert not entry["exact"]
+
+    def test_mass_fields_for_queried(self, fitted_iam):
+        q = Query.from_pairs([("latitude", "<=", 40.0)])
+        entry = fitted_iam.explain(q)[0]
+        assert 0.0 < entry["mass_total"] <= entry["tokens"]
+        assert 1 <= entry["tokens_touched"] <= entry["tokens"]
+
+
+class TestJoinGeneratorStatistics:
+    @pytest.fixture(scope="class")
+    def schema(self):
+        from repro.datasets.imdb import make_imdb
+
+        return make_imdb(400, 1200, 1600, 800, seed=0)
+
+    def test_all_templates_visited(self, schema):
+        generator = JoinQueryGenerator(schema, seed=0)
+        seen = {q.tables for q in generator.generate_many(200)}
+        assert seen == set(join_templates(schema))
+
+    def test_predicate_counts_in_bounds(self, schema):
+        generator = JoinQueryGenerator(schema, min_predicates=2, max_predicates=4, seed=1)
+        for q in generator.generate_many(50):
+            assert 1 <= len(q.query) <= 4  # small templates may cap below 2
+
+    def test_sample_dataclass_num_rows(self, schema):
+        sample = schema.sample(123, seed=0)
+        assert isinstance(sample, FullJoinSample)
+        assert sample.num_rows == 123
+
+
+class TestSchedulerMidpoints:
+    def test_cosine_halfway(self):
+        from repro import nn
+
+        opt = nn.SGD([nn.Parameter(np.zeros(1))], lr=1.0)
+        sched = nn.CosineDecayLR(opt, total_epochs=10, min_lr=0.0)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.5, abs=1e-9)
+
+    def test_cosine_clamps_beyond_total(self):
+        from repro import nn
+
+        opt = nn.SGD([nn.Parameter(np.zeros(1))], lr=1.0)
+        sched = nn.CosineDecayLR(opt, total_epochs=3, min_lr=0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1, abs=1e-9)
+
+
+class TestVBGMMBoundTrace:
+    def test_lower_bounds_recorded_and_mostly_increasing(self):
+        from repro.mixtures import VariationalGMM
+
+        rng = np.random.default_rng(2)
+        x = np.concatenate([rng.normal(-3, 0.5, 800), rng.normal(3, 0.5, 800)])
+        vb = VariationalGMM(max_components=6, seed=0).fit(x)
+        bounds = vb.lower_bounds_
+        assert len(bounds) >= 2
+        # The surrogate bound should improve overall from start to end.
+        assert bounds[-1] >= bounds[0]

@@ -1,0 +1,155 @@
+"""Column factorization: n-digit arithmetic and sampler constraints."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.reducers.factorize import ColumnFactorizer
+
+RNG = np.random.default_rng(0)
+
+
+def joint_mask(factorizer: ColumnFactorizer, intervals) -> np.ndarray:
+    """Enumerate the factorized mask over every digit combination."""
+    slot_ids = list(range(factorizer.n_digits))
+    constraints = factorizer.constraints(intervals, slot_ids)
+    allowed = np.zeros(factorizer.codec.vocab_size, dtype=bool)
+
+    def recurse(prefix_digits):
+        j = len(prefix_digits)
+        if j == factorizer.n_digits:
+            token = sum(
+                d * factorizer.place_values[i] for i, d in enumerate(prefix_digits)
+            )
+            if token < factorizer.codec.vocab_size:
+                allowed[token] = True
+            return
+        constraint = constraints[j]
+        if constraint.mass is not None:
+            mask = constraint.mass
+        else:
+            sampled = np.zeros((1, factorizer.n_digits), dtype=np.int64)
+            sampled[0, : len(prefix_digits)] = prefix_digits
+            mask = constraint.per_sample(sampled)[0]
+        for d in np.flatnonzero(mask > 0):
+            recurse(prefix_digits + [int(d)])
+
+    recurse([])
+    return allowed
+
+
+@pytest.fixture(scope="module")
+def factorizer():
+    return ColumnFactorizer(np.arange(100, dtype=np.float64))
+
+
+class TestDigits:
+    def test_two_digit_base_for_100(self, factorizer):
+        assert factorizer.n_digits == 2
+        assert factorizer.base == 10
+        assert factorizer.hi_vocab == 10
+        assert factorizer.lo_vocab == 10
+
+    def test_encode_decode_roundtrip(self, factorizer):
+        values = RNG.choice(100, size=50).astype(np.float64)
+        digits = factorizer.encode(values)
+        np.testing.assert_array_equal(factorizer.decode(digits), values)
+
+    def test_non_square_domain(self):
+        f = ColumnFactorizer(np.arange(10, dtype=np.float64))
+        values = np.arange(10, dtype=np.float64)
+        np.testing.assert_array_equal(f.decode(f.encode(values)), values)
+
+    def test_max_subdomain_cap(self):
+        f = ColumnFactorizer(np.arange(100, dtype=np.float64), max_subdomain=4)
+        assert f.base <= 4
+        assert f.base**f.n_digits >= 100
+
+    def test_three_digits_when_needed(self):
+        # 1000 values with subdomains capped at 12 need 3 digits.
+        f = ColumnFactorizer(np.arange(1000, dtype=np.float64), max_subdomain=12)
+        assert f.n_digits == 3
+        values = RNG.choice(1000, size=80).astype(np.float64)
+        np.testing.assert_array_equal(f.decode(f.encode(values)), values)
+
+    def test_leading_digit_vocab_trimmed(self):
+        # 120 values, base 11 -> leading digit only needs ceil(120/11) = 11.
+        f = ColumnFactorizer(np.arange(120, dtype=np.float64))
+        assert f.digit_vocabs[0] == (120 - 1) // f.base + 1
+
+    def test_domain_of_one_rejected(self):
+        with pytest.raises(ConfigError):
+            ColumnFactorizer(np.array([1.0]))
+
+    def test_extra_tokens_extend_space(self):
+        f = ColumnFactorizer(np.arange(99, dtype=np.float64), n_extra_tokens=1)
+        digits = f.encode_tokens(np.array([99]))  # the extra (NULL) token
+        assert (digits[0] < np.array(f.digit_vocabs)).all()
+
+
+class TestConstraints:
+    def test_matches_direct_token_range(self, factorizer):
+        allowed = joint_mask(factorizer, [(23.0, 61.0)])
+        expected = (factorizer.codec.distinct_values >= 23.0) & (
+            factorizer.codec.distinct_values <= 61.0
+        )
+        np.testing.assert_array_equal(allowed, expected)
+
+    def test_single_point(self, factorizer):
+        allowed = joint_mask(factorizer, [(42.0, 42.0)])
+        assert allowed.sum() == 1 and allowed[42]
+
+    def test_union_of_intervals(self, factorizer):
+        allowed = joint_mask(factorizer, [(5.0, 7.0), (90.0, 95.0)])
+        expected = np.zeros(100, dtype=bool)
+        expected[5:8] = True
+        expected[90:96] = True
+        np.testing.assert_array_equal(allowed, expected)
+
+    def test_empty_interval(self, factorizer):
+        constraints = factorizer.constraints([], list(range(factorizer.n_digits)))
+        assert constraints[0].mass.sum() == 0
+
+    def test_slot_count_validated(self, factorizer):
+        with pytest.raises(ConfigError):
+            factorizer.constraints([(0.0, 1.0)], [0, 1, 2])
+
+    def test_int_slot_shorthand(self, factorizer):
+        a = factorizer.constraints([(10.0, 30.0)], 0)
+        b = factorizer.constraints([(10.0, 30.0)], [0, 1])
+        np.testing.assert_array_equal(a[0].mass, b[0].mass)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 98), st.integers(0, 99))
+    def test_property_arbitrary_ranges_two_digits(self, lo, extra):
+        hi = min(lo + extra, 99)
+        factorizer = ColumnFactorizer(np.arange(100, dtype=np.float64))
+        allowed = joint_mask(factorizer, [(float(lo), float(hi))])
+        expected = np.zeros(100, dtype=bool)
+        expected[lo : hi + 1] = True
+        np.testing.assert_array_equal(allowed, expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 210), st.integers(0, 211))
+    def test_property_arbitrary_ranges_three_digits(self, lo, extra):
+        hi = min(lo + extra, 211)
+        factorizer = ColumnFactorizer(np.arange(212, dtype=np.float64), max_subdomain=7)
+        assert factorizer.n_digits == 3
+        allowed = joint_mask(factorizer, [(float(lo), float(hi))])
+        expected = np.zeros(212, dtype=bool)
+        expected[lo : hi + 1] = True
+        np.testing.assert_array_equal(allowed, expected)
+
+    def test_phantom_tokens_excluded(self):
+        # Domain 95 (base 10): digit combos for 95..99 are not real tokens.
+        f = ColumnFactorizer(np.arange(95, dtype=np.float64))
+        allowed = joint_mask(f, [(0.0, 94.0)])
+        assert allowed.sum() == 95
+
+    def test_non_contiguous_values(self):
+        values = np.array([1.0, 5.0, 10.0, 50.0, 100.0, 200.0])
+        f = ColumnFactorizer(values)
+        allowed = joint_mask(f, [(4.0, 60.0)])
+        np.testing.assert_array_equal(values[allowed], [5.0, 10.0, 50.0])

@@ -1,0 +1,242 @@
+"""Join subsystem: schema validation, Exact-Weight sampling, AR join
+estimation, classic baselines, workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import ColumnKind, Table
+from repro.datasets.imdb import make_imdb
+from repro.errors import ConfigError, QueryError, SchemaError
+from repro.joins import (
+    JoinAREstimator,
+    JoinQuery,
+    JoinQueryGenerator,
+    JoinWorkload,
+    MSCNJoin,
+    PostgresJoin,
+    Satellite,
+    StarSchema,
+    sample_full_join,
+)
+from repro.joins.generator import join_templates
+from repro.metrics import q_errors
+from repro.query import Query
+
+RNG = np.random.default_rng(0)
+
+
+def tiny_star(seed=0) -> StarSchema:
+    """Hand-computable star: 4 hub rows, one satellite."""
+    hub = Table.from_mapping(
+        "hub",
+        {"id": np.array([0, 1, 2, 3]), "color": np.array([0, 0, 1, 1])},
+        kinds={"id": ColumnKind.CATEGORICAL, "color": ColumnKind.CATEGORICAL},
+    )
+    sat = Table.from_mapping(
+        "sat",
+        {
+            "fk": np.array([0, 0, 0, 1, 2]),  # fanouts: 3,1,1,0
+            "v": np.array([10, 20, 30, 10, 20]),
+        },
+        kinds={"fk": ColumnKind.CATEGORICAL, "v": ColumnKind.CATEGORICAL},
+    )
+    return StarSchema(hub, "id", [Satellite(sat, "fk")])
+
+
+@pytest.fixture(scope="module")
+def star():
+    return tiny_star()
+
+
+@pytest.fixture(scope="module")
+def imdb():
+    return make_imdb(n_titles=600, n_movie_info=1800, n_cast_info=2400,
+                     n_movie_keyword=1200, seed=0)
+
+
+class TestStarSchema:
+    def test_hub_key_must_be_dense(self):
+        hub = Table.from_mapping("hub", {"id": np.array([1, 2, 3])})
+        with pytest.raises(SchemaError):
+            StarSchema(hub, "id", [])
+
+    def test_dangling_fk_rejected(self):
+        hub = Table.from_mapping("hub", {"id": np.array([0, 1])})
+        sat = Table.from_mapping("sat", {"fk": np.array([0, 5])})
+        with pytest.raises(SchemaError):
+            StarSchema(hub, "id", [Satellite(sat, "fk")])
+
+    def test_duplicate_columns_rejected(self):
+        hub = Table.from_mapping("hub", {"id": np.array([0, 1]), "v": np.array([1, 2])})
+        sat = Table.from_mapping("sat", {"fk": np.array([0, 1]), "v": np.array([1, 2])})
+        with pytest.raises(SchemaError):
+            StarSchema(hub, "id", [Satellite(sat, "fk")])
+
+    def test_fanout_counts(self, star):
+        counts = star.fanout_counts(star.satellites[0])
+        np.testing.assert_array_equal(counts, [3, 1, 1, 0])
+
+    def test_full_join_size(self, star):
+        # max(c,1) per hub row: 3+1+1+1 = 6
+        assert star.full_join_size() == 6
+
+    def test_true_cardinality_hub_only(self, star):
+        jq = JoinQuery(frozenset({"hub"}), Query.from_pairs([("color", "=", 0)]))
+        assert star.true_cardinality(jq) == 2
+
+    def test_true_cardinality_with_satellite(self, star):
+        jq = JoinQuery(
+            frozenset({"hub", "sat"}), Query.from_pairs([("color", "=", 0)])
+        )
+        # hub rows 0,1 pass; fanouts 3 and 1 -> 4.
+        assert star.true_cardinality(jq) == 4
+
+    def test_true_cardinality_satellite_predicate(self, star):
+        jq = JoinQuery(frozenset({"hub", "sat"}), Query.from_pairs([("v", "=", 10)]))
+        # v=10 rows: fk 0 and 1 -> counts per hub: [1,1,0,0] -> total 2.
+        assert star.true_cardinality(jq) == 2
+
+    def test_table_of_column(self, star):
+        assert star.table_of_column("v") == "sat"
+        with pytest.raises(SchemaError):
+            star.table_of_column("missing")
+
+
+class TestJoinQuery:
+    def test_must_include_hub(self, star):
+        jq = JoinQuery(frozenset({"sat"}), Query.from_pairs([("v", "=", 10)]))
+        with pytest.raises(QueryError):
+            jq.validate(star)
+
+    def test_predicate_outside_subset_rejected(self, star):
+        jq = JoinQuery(frozenset({"hub"}), Query.from_pairs([("v", "=", 10)]))
+        with pytest.raises(QueryError):
+            jq.validate(star)
+
+    def test_unknown_table_rejected(self, star):
+        jq = JoinQuery(frozenset({"hub", "nope"}), Query.from_pairs([("color", "=", 0)]))
+        with pytest.raises(QueryError):
+            jq.validate(star)
+
+
+class TestSampler:
+    def test_sample_shapes(self, star):
+        sample = sample_full_join(star, 5000, seed=0)
+        assert sample.num_rows == 5000
+        assert set(sample.columns) == {"color", "v"}
+        assert sample.full_join_size == 6
+
+    def test_hub_weighting_matches_exact_weight(self, star):
+        sample = sample_full_join(star, 30_000, seed=1)
+        # hub row 0 appears in 3/6 of the full join.
+        color0 = (sample.columns["color"] == 0).mean()
+        assert color0 == pytest.approx(4 / 6, abs=0.02)
+
+    def test_null_fraction(self, star):
+        sample = sample_full_join(star, 30_000, seed=2)
+        # Hub rows 2 and 3 contribute 2/6 rows; row 3 is the only NULL pad.
+        assert sample.null_masks["sat"].mean() == pytest.approx(1 / 6, abs=0.02)
+
+    def test_fanout_values(self, star):
+        sample = sample_full_join(star, 1000, seed=3)
+        assert set(np.unique(sample.fanouts["sat"])) <= {1, 3}
+
+    def test_satellite_rows_uniform_within_key(self, star):
+        sample = sample_full_join(star, 30_000, seed=4)
+        mask = sample.columns["color"] == 0
+        vs = sample.columns["v"][mask & ~sample.null_masks["sat"]]
+        # key 0 has v in {10,20,30} (1/3 each * 3/4 of color-0 mass),
+        # key 1 contributes v=10 (1/4 of color-0 mass)
+        freq10 = (vs == 10).mean()
+        assert freq10 == pytest.approx(0.25 + 0.25 * 0.5, abs=0.25)
+
+
+class TestPostgresJoin:
+    def test_unfiltered_join_estimate(self, star):
+        est = PostgresJoin().fit(star)
+        jq = JoinQuery(frozenset({"hub", "sat"}), Query.from_pairs([("color", ">=", 0)]))
+        # |hub| * |sat| / max ndv = 4*5/4 = 5 (true inner join is 5).
+        assert est.estimate_cardinality(jq) == pytest.approx(5.0, rel=0.1)
+
+    def test_size(self, star):
+        assert PostgresJoin().fit(star).size_bytes() > 0
+
+
+class TestJoinAR:
+    @pytest.fixture(scope="class", params=["iam", "naru"])
+    def fitted(self, request, imdb):
+        return JoinAREstimator(
+            kind=request.param,
+            m_samples=4000,
+            epochs=3,
+            learning_rate=1e-2,
+            hidden_sizes=(32, 32, 32),
+            n_progressive_samples=200,
+            n_components=10,
+            samples_per_component=500,
+            gmm_domain_threshold=200,
+            factorize_threshold=200,
+            seed=0,
+        ).fit(imdb)
+
+    def test_cardinalities_positive_finite(self, fitted, imdb):
+        workload = JoinWorkload.generate(imdb, 20, seed=1)
+        cards = fitted.estimate_cardinalities(workload.queries)
+        assert (cards >= 1.0).all()
+        assert np.isfinite(cards).all()
+
+    def test_median_qerror_reasonable(self, fitted, imdb):
+        workload = JoinWorkload.generate(imdb, 40, seed=2)
+        cards = fitted.estimate_cardinalities(workload.queries)
+        errors = q_errors(np.maximum(workload.true_cardinalities, 1.0), cards)
+        assert np.median(errors) < 8.0
+
+    def test_hub_only_query(self, fitted, imdb):
+        jq = JoinQuery(
+            frozenset({"title"}), Query.from_pairs([("production_year", ">=", 2000)])
+        )
+        truth = imdb.true_cardinality(jq)
+        est = fitted.estimate_cardinality(jq)
+        assert est == pytest.approx(truth, rel=1.0)
+
+    def test_invalid_kind(self):
+        with pytest.raises(ConfigError):
+            JoinAREstimator(kind="spn")
+
+
+class TestMSCNJoin:
+    def test_fits_and_estimates(self, imdb):
+        workload = JoinWorkload.generate(imdb, 120, seed=3)
+        train, test = workload.split(100)
+        est = MSCNJoin(epochs=15, hidden=32, n_bitmap_rows=200, seed=0).fit(imdb, train)
+        cards = est.estimate_cardinalities(test.queries)
+        assert (cards >= 1.0).all()
+        errors = q_errors(np.maximum(test.true_cardinalities, 1.0), cards)
+        assert np.median(errors) < 30
+
+
+class TestGenerator:
+    def test_templates_all_contain_hub(self, imdb):
+        for template in join_templates(imdb):
+            assert "title" in template
+
+    def test_template_count(self, imdb):
+        assert len(join_templates(imdb)) == 2 ** len(imdb.satellites)
+
+    def test_queries_valid(self, imdb):
+        for jq in JoinQueryGenerator(imdb, seed=0).generate_many(30):
+            jq.validate(imdb)
+
+    def test_no_predicates_on_keys(self, imdb):
+        for jq in JoinQueryGenerator(imdb, seed=1).generate_many(30):
+            for p in jq.query:
+                assert p.column not in ("id", "movie_id", "cast_movie_id", "keyword_movie_id")
+
+    def test_workload_cards_match_schema(self, imdb):
+        w = JoinWorkload.generate(imdb, 10, seed=4)
+        for jq, card in zip(w.queries, w.true_cardinalities):
+            assert card == imdb.true_cardinality(jq)
+
+    def test_invalid_bounds(self, imdb):
+        with pytest.raises(ConfigError):
+            JoinQueryGenerator(imdb, min_predicates=0)

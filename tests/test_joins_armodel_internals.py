@@ -1,0 +1,123 @@
+"""White-box tests of the join AR model's slot planning and constraints."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.imdb import make_imdb
+from repro.joins import JoinAREstimator, JoinQuery
+from repro.query import Query
+from repro.reducers.factorize import ColumnFactorizer
+from repro.reducers.gmm_reducer import GMMReducer
+from repro.reducers.identity import IdentityReducer
+from repro.reducers.nullable import NullableReducer
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return make_imdb(n_titles=400, n_movie_info=1200, n_cast_info=1600,
+                     n_movie_keyword=800, seed=0)
+
+
+@pytest.fixture(scope="module")
+def iam_join(schema):
+    return JoinAREstimator(
+        kind="iam", m_samples=3000, epochs=2, learning_rate=1e-2,
+        hidden_sizes=(24, 24, 24), n_progressive_samples=100,
+        n_components=6, interval_kind="empirical",
+        gmm_domain_threshold=150, seed=0,
+    ).fit(schema)
+
+
+@pytest.fixture(scope="module")
+def naru_join(schema):
+    return JoinAREstimator(
+        kind="naru", m_samples=3000, epochs=2, learning_rate=1e-2,
+        hidden_sizes=(24, 24, 24), n_progressive_samples=100,
+        factorize_threshold=150, seed=0,
+    ).fit(schema)
+
+
+class TestSlotPlanning:
+    def test_every_member_table_has_present_and_fanout(self, iam_join, schema):
+        for name in schema.member_tables():
+            assert name in iam_join._present_slot
+            assert name in iam_join._fanout_slot
+            assert iam_join.slots[iam_join._present_slot[name]].kind == "present"
+            assert iam_join.slots[iam_join._fanout_slot[name]].kind == "fanout"
+
+    def test_join_keys_get_no_slots(self, iam_join, schema):
+        slot_columns = {s.column for s in iam_join.slots if s.column}
+        assert not (slot_columns & schema.join_key_columns())
+
+    def test_iam_reduces_continuous_hub_columns(self, iam_join):
+        lat_slot = iam_join.slots[iam_join._column_slot["latitude"]]
+        assert isinstance(lat_slot.handler, GMMReducer)
+
+    def test_iam_wraps_satellite_columns_nullable(self, iam_join):
+        x_slot = iam_join.slots[iam_join._column_slot["x"]]
+        assert isinstance(x_slot.handler, NullableReducer)
+
+    def test_naru_factorizes_large_domains(self, naru_join):
+        x_index = naru_join._column_slot["x"]
+        handler = naru_join.slots[x_index].handler
+        assert isinstance(handler, ColumnFactorizer)
+        for j in range(handler.n_digits):
+            slot = naru_join.slots[x_index + j]
+            assert slot.kind == "factor-digit"
+            assert slot.digit == j
+
+    def test_small_domains_stay_exact(self, iam_join):
+        kind_slot = iam_join.slots[iam_join._column_slot["kind_id"]]
+        assert isinstance(kind_slot.handler, IdentityReducer)
+
+    def test_vocab_sizes_match_slots(self, iam_join):
+        assert len(iam_join.model.vocab_sizes) == len(iam_join.slots)
+
+
+class TestConstraintBuilding:
+    def test_unreferenced_tables_get_fanout_scale(self, iam_join, schema):
+        jq = JoinQuery(frozenset({"title"}), Query.from_pairs([("kind_id", "=", 1)]))
+        constraints = iam_join._constraints(jq)
+        for name in schema.member_tables():
+            fanout_constraint = constraints[iam_join._fanout_slot[name]]
+            assert fanout_constraint is not None
+            assert fanout_constraint.scale is not None
+            assert fanout_constraint.mass is None
+
+    def test_included_tables_get_present_indicator(self, iam_join):
+        jq = JoinQuery(
+            frozenset({"title", "movie_info"}),
+            Query.from_pairs([("kind_id", "=", 1)]),
+        )
+        constraints = iam_join._constraints(jq)
+        present = constraints[iam_join._present_slot["movie_info"]]
+        np.testing.assert_array_equal(present.mass, [0.0, 1.0])
+        assert constraints[iam_join._fanout_slot["movie_info"]] is None
+
+    def test_null_token_excluded_from_predicates(self, iam_join):
+        jq = JoinQuery(
+            frozenset({"title", "movie_info"}),
+            Query.from_pairs([("info_type_id", "=", 1)]),
+        )
+        constraints = iam_join._constraints(jq)
+        mass = constraints[iam_join._column_slot["info_type_id"]].mass
+        assert mass[-1] == 0.0  # NULL token
+
+    def test_fanout_scale_inverts_values(self, iam_join, schema):
+        jq = JoinQuery(frozenset({"title"}), Query.from_pairs([("kind_id", "=", 1)]))
+        constraints = iam_join._constraints(jq)
+        name = schema.member_tables()[0]
+        slot = iam_join.slots[iam_join._fanout_slot[name]]
+        scale = constraints[iam_join._fanout_slot[name]].scale
+        tokens = np.arange(len(slot.fanout_values))
+        np.testing.assert_allclose(scale(tokens), 1.0 / slot.fanout_values)
+
+    def test_hub_only_estimate_close_to_scaled_truth(self, iam_join, schema):
+        jq = JoinQuery(frozenset({"title"}), Query.from_pairs([("kind_id", "=", 1)]))
+        truth = schema.true_cardinality(jq)
+        assert iam_join.estimate_cardinality(jq) == pytest.approx(truth, rel=1.0)
+
+
+class TestSizeAccounting:
+    def test_iam_join_smaller_than_naru_join(self, iam_join, naru_join):
+        assert iam_join.size_bytes() < naru_join.size_bytes()

@@ -1,0 +1,208 @@
+"""Tree-structured join schemas: weights, sampling, estimation."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import ColumnKind, Table
+from repro.datasets.imdb_tree import make_imdb_tree
+from repro.errors import QueryError, SchemaError
+from repro.joins import JoinAREstimator, JoinQuery, Satellite, StarSchema
+from repro.joins.tree import TreeEdge, TreeSchema
+from repro.metrics import q_errors
+from repro.query import Query
+
+RNG = np.random.default_rng(0)
+
+
+def chain_schema() -> TreeSchema:
+    """Hand-checkable 3-table chain: a(2) <- b(3) <- c(3)."""
+    a = Table.from_mapping("a", {"aid": np.array([0, 1]), "av": np.array([10, 20])})
+    b = Table.from_mapping(
+        "b",
+        {"b_aid": np.array([0, 0, 1]), "bid": np.array([0, 1, 2]), "bv": np.array([1, 2, 3])},
+    )
+    c = Table.from_mapping(
+        "c", {"c_bid": np.array([0, 0, 2]), "cv": np.array([7, 8, 9])}
+    )
+    return TreeSchema(
+        tables={"a": a, "b": b, "c": c},
+        root="a",
+        edges=[TreeEdge("a", "aid", "b", "b_aid"), TreeEdge("b", "bid", "c", "c_bid")],
+    )
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return chain_schema()
+
+
+@pytest.fixture(scope="module")
+def imdb_tree():
+    return make_imdb_tree(800, 2400, 120, seed=0)
+
+
+class TestValidation:
+    def test_cycle_rejected(self):
+        a = Table.from_mapping("a", {"x": np.array([0])})
+        b = Table.from_mapping("b", {"y": np.array([0])})
+        with pytest.raises(SchemaError):
+            TreeSchema(
+                {"a": a, "b": b},
+                "a",
+                [TreeEdge("a", "x", "b", "y"), TreeEdge("b", "y", "a", "x")],
+            )
+
+    def test_two_parents_rejected(self):
+        a = Table.from_mapping("a", {"x": np.array([0])})
+        b = Table.from_mapping("b", {"y": np.array([0])})
+        c = Table.from_mapping("c", {"z": np.array([0])})
+        with pytest.raises(SchemaError):
+            TreeSchema(
+                {"a": a, "b": b, "c": c},
+                "a",
+                [
+                    TreeEdge("a", "x", "c", "z"),
+                    TreeEdge("b", "y", "c", "z"),
+                ],
+            )
+
+    def test_disconnected_rejected(self):
+        a = Table.from_mapping("a", {"x": np.array([0])})
+        b = Table.from_mapping("b", {"y": np.array([0])})
+        with pytest.raises(SchemaError):
+            TreeSchema({"a": a, "b": b}, "a", [])
+
+    def test_subset_must_be_connected(self, chain):
+        with pytest.raises(QueryError):
+            chain.validate_subset(frozenset({"a", "c"}))  # skips b
+
+    def test_subset_must_include_root(self, chain):
+        with pytest.raises(QueryError):
+            chain.validate_subset(frozenset({"b", "c"}))
+
+
+class TestWeightsAndCardinality:
+    def test_full_join_size_hand_computed(self, chain):
+        # c weights: 1 each. A_c per bid: [2, 0, 1].
+        # b weights: max(A_c,1) -> [2, 1, 1]. A_b per aid: [3, 1].
+        # a weights: [3, 1] -> full join size 4.
+        assert chain.full_join_size() == 4
+
+    def test_inner_join_cardinalities(self, chain):
+        q = JoinQuery(frozenset({"a", "b"}), Query.from_pairs([("av", ">=", 0)]))
+        assert chain.true_cardinality(q) == 3
+        q = JoinQuery(frozenset({"a", "b", "c"}), Query.from_pairs([("av", ">=", 0)]))
+        assert chain.true_cardinality(q) == 3  # bids 0(2), 2(1)
+
+    def test_predicate_on_leaf(self, chain):
+        q = JoinQuery(frozenset({"a", "b", "c"}), Query.from_pairs([("cv", "=", 9)]))
+        assert chain.true_cardinality(q) == 1
+
+    def test_predicate_on_middle(self, chain):
+        q = JoinQuery(frozenset({"a", "b"}), Query.from_pairs([("bv", "<=", 2)]))
+        assert chain.true_cardinality(q) == 2
+
+    def test_depth1_tree_matches_star(self):
+        """A one-level tree must agree with the StarSchema machinery."""
+        hub = Table.from_mapping("hub", {"id": np.arange(4), "color": np.array([0, 0, 1, 1])})
+        sat = Table.from_mapping(
+            "sat", {"fk": np.array([0, 0, 0, 1, 2]), "v": np.array([10, 20, 30, 10, 20])}
+        )
+        star = StarSchema(hub, "id", [Satellite(sat, "fk")])
+        tree = TreeSchema(
+            {"hub": hub, "sat": sat}, "hub", [TreeEdge("hub", "id", "sat", "fk")]
+        )
+        assert tree.full_join_size() == star.full_join_size()
+        q = JoinQuery(frozenset({"hub", "sat"}), Query.from_pairs([("color", "=", 0)]))
+        assert tree.true_cardinality(q) == star.true_cardinality(q)
+
+    def test_boundary_tables(self, chain):
+        assert chain.boundary_tables(frozenset({"a"})) == ["b"]
+        assert chain.boundary_tables(frozenset({"a", "b"})) == ["c"]
+        assert chain.boundary_tables(frozenset({"a", "b", "c"})) == []
+
+
+class TestTreeSampling:
+    def test_sample_shapes(self, chain):
+        sample = chain.sample(1000, seed=0)
+        assert sample.num_rows == 1000
+        assert set(sample.null_masks) == {"b", "c"}
+        assert set(sample.fanouts) == {"b", "c"}
+        # Join keys excluded from data columns.
+        assert "b_aid" not in sample.columns and "c_bid" not in sample.columns
+
+    def test_root_weighting(self, chain):
+        sample = chain.sample(40_000, seed=1)
+        # a row 0 weight 3 of total 4.
+        frac = (sample.columns["av"] == 10).mean()
+        assert frac == pytest.approx(0.75, abs=0.01)
+
+    def test_null_propagates_down_the_subtree(self, chain):
+        sample = chain.sample(5000, seed=2)
+        # wherever b is NULL, c must be NULL too.
+        assert not (sample.null_masks["b"] & ~sample.null_masks["c"]).any()
+
+    def test_leaf_null_fraction(self, chain):
+        sample = chain.sample(40_000, seed=3)
+        # Full join rows: a0 has rows (b0,c·)x2, (b1,NULL); a1 has (b2,c).
+        # c is NULL only on the (a0,b1) row: 1/4.
+        assert sample.null_masks["c"].mean() == pytest.approx(0.25, abs=0.01)
+
+    def test_fanout_is_subtree_weight(self, chain):
+        sample = chain.sample(2000, seed=4)
+        rows_a0 = sample.columns["av"] == 10
+        assert set(np.unique(sample.fanouts["b"][rows_a0])) == {3}
+        assert set(np.unique(sample.fanouts["b"][~rows_a0])) == {1}
+
+
+class TestTreeEstimation:
+    @pytest.fixture(scope="class")
+    def fitted(self, imdb_tree):
+        return JoinAREstimator(
+            kind="iam",
+            m_samples=6000,
+            epochs=4,
+            learning_rate=1e-2,
+            hidden_sizes=(32, 32, 32),
+            n_progressive_samples=200,
+            n_components=10,
+            interval_kind="empirical",
+            gmm_domain_threshold=200,
+            seed=0,
+        ).fit(imdb_tree)
+
+    def test_two_way_join(self, fitted, imdb_tree):
+        q = JoinQuery(
+            frozenset({"title", "movie_companies"}),
+            Query.from_pairs([("production_year", ">=", 2000)]),
+        )
+        truth = imdb_tree.true_cardinality(q)
+        assert fitted.estimate_cardinality(q) == pytest.approx(truth, rel=0.6)
+
+    def test_three_way_chain_join(self, fitted, imdb_tree):
+        q = JoinQuery(
+            frozenset({"title", "movie_companies", "company"}),
+            Query.from_pairs([("country_code", "=", 0)]),
+        )
+        truth = imdb_tree.true_cardinality(q)
+        est = fitted.estimate_cardinality(q)
+        assert est == pytest.approx(truth, rel=1.0)
+
+    def test_workload_median(self, fitted, imdb_tree):
+        queries = []
+        rng = np.random.default_rng(5)
+        templates = [
+            frozenset({"title"}),
+            frozenset({"title", "movie_companies"}),
+            frozenset({"title", "movie_companies", "company"}),
+        ]
+        for _ in range(30):
+            tables = templates[rng.integers(len(templates))]
+            predicates = [("production_year", ">=", int(1950 + rng.integers(60)))]
+            if "movie_companies" in tables:
+                predicates.append(("note_type", "=", int(rng.integers(6))))
+            queries.append(JoinQuery(tables, Query.from_pairs(predicates)))
+        truths = np.array([imdb_tree.true_cardinality(q) for q in queries])
+        estimates = fitted.estimate_cardinalities(queries)
+        errors = q_errors(np.maximum(truths, 1.0), np.maximum(estimates, 1.0))
+        assert np.median(errors) < 5.0

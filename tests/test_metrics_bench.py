@@ -1,0 +1,106 @@
+"""Metrics (q-error) and bench harness utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import BenchScale, bench_scale, format_table
+from repro.metrics import ErrorSummary, clamp_selectivity, q_error, q_errors, summarize
+
+
+class TestQError:
+    def test_symmetric(self):
+        assert q_error(0.1, 0.2) == q_error(0.2, 0.1) == pytest.approx(2.0)
+
+    def test_perfect_is_one(self):
+        assert q_error(0.5, 0.5) == 1.0
+
+    def test_floor_prevents_division_by_zero(self):
+        assert q_error(0.0, 0.5, floor=0.001) == pytest.approx(500.0)
+
+    def test_raises_on_zero_without_floor(self):
+        with pytest.raises(ValueError):
+            q_error(0.0, 0.5)
+
+    def test_vectorised_with_row_floor(self):
+        errors = q_errors(np.array([0.0, 0.5]), np.array([0.5, 0.5]), n_rows=100)
+        assert errors[0] == pytest.approx(50.0)
+        assert errors[1] == 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(1e-6, 1.0), st.floats(1e-6, 1.0))
+    def test_property_at_least_one(self, a, e):
+        assert q_error(a, e) >= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(1e-6, 1.0), st.floats(1e-6, 1.0), st.floats(1e-6, 1.0))
+    def test_property_multiplicative_triangle(self, a, b, c):
+        assert q_error(a, c) <= q_error(a, b) * q_error(b, c) * (1 + 1e-9)
+
+
+class TestErrorSummary:
+    def test_from_errors(self):
+        errors = np.array([1.0, 1.0, 2.0, 10.0])
+        s = ErrorSummary.from_errors(errors)
+        assert s.max == 10.0
+        assert s.mean == pytest.approx(3.5)
+        assert s.median == pytest.approx(1.5)
+
+    def test_summarize_floors_both_sides(self):
+        s = summarize(np.array([0.0]), np.array([0.001]), n_rows=1000)
+        assert s.max == pytest.approx(1.0)
+
+    def test_as_row_order(self):
+        s = ErrorSummary(1, 2, 3, 4, 5)
+        assert s.as_row() == [1, 2, 3, 4, 5]
+
+    def test_str_readable(self):
+        assert "median" in str(ErrorSummary(1, 1, 1, 1, 1))
+
+
+class TestClamp:
+    def test_clamps_low(self):
+        assert clamp_selectivity(0.0, 100) == 0.01
+
+    def test_clamps_high(self):
+        assert clamp_selectivity(5.0, 100) == 1.0
+
+    def test_identity_inside(self):
+        assert clamp_selectivity(0.5, 100) == 0.5
+
+
+class TestBenchHarness:
+    def test_format_table_aligns(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bbbb", 123456.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].index("value") == lines[2].index("1")
+
+    def test_format_table_with_title(self):
+        text = format_table(["x"], [[1]], title="Table 1")
+        assert text.startswith("Table 1")
+
+    def test_bench_scale_default_smoke(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale().name == "smoke"
+
+    def test_bench_scale_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        scale = bench_scale()
+        assert scale.name == "full"
+        assert scale.rows > bench_scale.__wrapped__().rows if hasattr(bench_scale, "__wrapped__") else True
+
+    def test_bench_scale_unknown(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_scale_is_frozen(self):
+        scale = BenchScale(
+            name="x", rows=1, n_test_queries=1, n_train_queries=1, ar_epochs=1,
+            ar_hidden=(8,), n_components=1, progressive_samples=1,
+            gmm_mc_samples=1, imdb_titles=1, join_samples=1, n_join_queries=1,
+        )
+        with pytest.raises(AttributeError):
+            scale.rows = 2

@@ -1,0 +1,225 @@
+"""Gaussian mixture tests: frozen model, EM, VBGMM, SGD training."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, NotFittedError
+from repro.mixtures import (
+    GaussianMixture1D,
+    SGDGaussianMixture,
+    VariationalGMM,
+    fit_em,
+    select_components,
+)
+from repro.mixtures.em import init_params, kmeans_pp_centers
+from repro.mixtures.sgd_gmm import fit_sgd_gmm
+
+RNG = np.random.default_rng(0)
+
+
+def two_bump_data(n=4000, rng=RNG):
+    return np.concatenate([rng.normal(-4, 0.5, n // 2), rng.normal(4, 1.0, n // 2)])
+
+
+@pytest.fixture(scope="module")
+def mixture():
+    return GaussianMixture1D(
+        weights=np.array([0.3, 0.7]),
+        means=np.array([-4.0, 4.0]),
+        variances=np.array([0.25, 1.0]),
+    )
+
+
+class TestGaussianMixture1D:
+    def test_validation_shapes(self):
+        with pytest.raises(ConfigError):
+            GaussianMixture1D(np.array([1.0]), np.array([0.0, 1.0]), np.array([1.0]))
+
+    def test_validation_weights(self):
+        with pytest.raises(ConfigError):
+            GaussianMixture1D(np.array([0.5, 0.6]), np.zeros(2), np.ones(2))
+
+    def test_validation_variances(self):
+        with pytest.raises(ConfigError):
+            GaussianMixture1D(np.array([0.5, 0.5]), np.zeros(2), np.array([1.0, 0.0]))
+
+    def test_log_prob_integrates_to_one(self, mixture):
+        xs = np.linspace(-15, 15, 20001)
+        density = np.exp(mixture.log_prob(xs))
+        integral = np.trapezoid(density, xs)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_responsibilities_rows_normalised(self, mixture):
+        resp = mixture.responsibilities(np.array([-4.0, 0.0, 4.0]))
+        np.testing.assert_allclose(resp.sum(axis=1), 1.0)
+
+    def test_assign_is_argmax_of_responsibility(self, mixture):
+        x = RNG.normal(0, 5, 100)
+        resp = mixture.responsibilities(x)
+        np.testing.assert_array_equal(mixture.assign(x), resp.argmax(axis=1))
+
+    def test_assign_sampled_matches_responsibilities_statistically(self, mixture):
+        x = np.zeros(4000)  # ambiguous midpoint-ish values
+        resp = mixture.responsibilities(x)[0]
+        draws = mixture.assign_sampled(x, rng=np.random.default_rng(0))
+        freq = np.bincount(draws, minlength=2) / len(draws)
+        np.testing.assert_allclose(freq, resp, atol=0.03)
+
+    def test_sample_statistics(self, mixture):
+        samples = mixture.sample(50_000, rng=np.random.default_rng(1))
+        expected_mean = 0.3 * -4.0 + 0.7 * 4.0
+        assert samples.mean() == pytest.approx(expected_mean, abs=0.1)
+
+    def test_sample_component(self, mixture):
+        s = mixture.sample_component(0, 10_000, rng=np.random.default_rng(2))
+        assert s.mean() == pytest.approx(-4.0, abs=0.05)
+
+    def test_interval_mass_full_line(self, mixture):
+        assert mixture.interval_mass(-1e9, 1e9) == pytest.approx(1.0)
+
+    def test_interval_mass_empty(self, mixture):
+        assert mixture.interval_mass(5.0, 4.0) == 0.0
+
+    def test_component_interval_mass_half(self, mixture):
+        masses = mixture.component_interval_mass(-4.0, 1e9)
+        assert masses[0] == pytest.approx(0.5, abs=1e-9)
+        assert masses[1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_sorted_by_mean(self):
+        m = GaussianMixture1D(np.array([0.6, 0.4]), np.array([5.0, -5.0]), np.ones(2))
+        s = m.sorted_by_mean()
+        assert s.means[0] < s.means[1]
+        assert s.weights[0] == 0.4
+
+    def test_dict_roundtrip(self, mixture):
+        clone = GaussianMixture1D.from_dict(mixture.to_dict())
+        np.testing.assert_allclose(clone.means, mixture.means)
+
+    def test_size_bytes(self, mixture):
+        assert mixture.size_bytes() == 3 * 2 * 4
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(-8, 8), st.floats(0, 6))
+    def test_interval_mass_monotone_in_width(self, low, width):
+        m = GaussianMixture1D(np.array([1.0]), np.array([0.0]), np.array([2.0]))
+        narrow = m.interval_mass(low, low + width / 2)
+        wide = m.interval_mass(low, low + width)
+        assert wide >= narrow - 1e-12
+
+
+class TestEM:
+    def test_recovers_two_bumps(self):
+        x = two_bump_data()
+        model = fit_em(x, 2, rng=np.random.default_rng(0))
+        assert model.means[0] == pytest.approx(-4.0, abs=0.2)
+        assert model.means[1] == pytest.approx(4.0, abs=0.2)
+        assert model.weights[0] == pytest.approx(0.5, abs=0.05)
+
+    def test_likelihood_never_decreases_much(self):
+        x = two_bump_data(1000)
+        rng = np.random.default_rng(3)
+        init = init_params(x, 3, rng=rng)
+        lls = []
+        model = init
+        for _ in range(5):
+            model = fit_em(x, 3, max_iter=1, rng=rng, init=model)
+            lls.append(model.log_prob(x).mean())
+        assert all(b >= a - 1e-6 for a, b in zip(lls, lls[1:]))
+
+    def test_single_component(self):
+        x = RNG.normal(2.0, 3.0, 2000)
+        model = fit_em(x, 1)
+        assert model.means[0] == pytest.approx(2.0, abs=0.2)
+        assert model.variances[0] == pytest.approx(9.0, rel=0.1)
+
+    def test_more_components_than_modes_survives(self):
+        x = RNG.normal(0, 1, 500)
+        model = fit_em(x, 8, rng=np.random.default_rng(0))
+        assert model.n_components == 8
+        assert np.isfinite(model.log_prob(x)).all()
+
+    def test_k_larger_than_n_rejected(self):
+        with pytest.raises(ConfigError):
+            fit_em(np.array([1.0, 2.0]), 5)
+
+    def test_kmeans_pp_spreads_centers(self):
+        x = two_bump_data(500)
+        centers = kmeans_pp_centers(x, 2, rng=np.random.default_rng(0))
+        assert abs(centers[0] - centers[1]) > 4.0
+
+
+class TestVBGMM:
+    def test_prunes_to_true_component_count(self):
+        x = two_bump_data()
+        vb = VariationalGMM(max_components=10, seed=0).fit(x)
+        assert vb.effective_components() <= 5
+        assert vb.effective_components() >= 2
+
+    def test_point_estimate_is_valid_mixture(self):
+        x = two_bump_data(1000)
+        model = VariationalGMM(max_components=8, seed=0).fit(x).point_estimate()
+        assert model.weights.sum() == pytest.approx(1.0)
+        assert (model.variances > 0).all()
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            VariationalGMM().point_estimate()
+
+    def test_needs_two_points(self):
+        with pytest.raises(ConfigError):
+            VariationalGMM().fit(np.array([1.0]))
+
+    def test_select_components_returns_init(self):
+        x = two_bump_data(3000)
+        k, init = select_components(x, max_components=10, seed=0)
+        assert init.n_components == k
+        assert 2 <= k <= 10
+
+
+class TestSGDGMM:
+    def test_matches_em_likelihood(self):
+        x = two_bump_data()
+        rng = np.random.default_rng(0)
+        em = fit_em(x, 2, rng=rng)
+        init = init_params(x, 2, rng=rng)
+        sgd = fit_sgd_gmm(x, init, epochs=15, seed=0)
+        assert sgd.log_prob(x).mean() >= em.log_prob(x).mean() - 0.05
+
+    def test_nll_decreases(self):
+        x = two_bump_data(2000)
+        init = init_params(x, 2, rng=np.random.default_rng(1))
+        module = SGDGaussianMixture(init, loc=float(x.mean()), scale=float(x.std()))
+        from repro.nn.optim import Adam
+
+        opt = Adam(module.parameters(), lr=5e-2)
+        first = module.nll(x).item()
+        for _ in range(30):
+            loss = module.nll(x)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert module.nll(x).item() < first
+
+    def test_freeze_preserves_component_order(self):
+        init = GaussianMixture1D(
+            np.array([0.5, 0.5]), np.array([1.0, -1.0]), np.ones(2)
+        )
+        module = SGDGaussianMixture(init)
+        frozen = module.freeze()
+        # init is sorted at construction; freeze must not re-sort.
+        np.testing.assert_allclose(frozen.means, [-1.0, 1.0], atol=1e-9)
+
+    def test_assign_numpy_matches_frozen_assign(self):
+        x = two_bump_data(500)
+        init = init_params(x, 3, rng=np.random.default_rng(2))
+        module = SGDGaussianMixture(init, loc=float(x.mean()), scale=float(x.std()))
+        np.testing.assert_array_equal(
+            module.assign_numpy(x), module.freeze().assign(x)
+        )
+
+    def test_invalid_scale(self):
+        init = GaussianMixture1D(np.array([1.0]), np.zeros(1), np.ones(1))
+        with pytest.raises(ConfigError):
+            SGDGaussianMixture(init, scale=0.0)

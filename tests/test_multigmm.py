@@ -1,0 +1,155 @@
+"""Multivariate diagonal GMM + the one-GMM-for-many-columns IAM variant."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.errors import ConfigError, NotFittedError
+from repro.estimators.multigmm import IAMMultiGMM
+from repro.metrics import q_errors
+from repro.mixtures.mvdiag import DiagGaussianMixture, fit_diag_em
+from repro.query import Query, Workload
+
+RNG = np.random.default_rng(0)
+
+
+def two_cluster_2d(n=4000, rng=RNG):
+    a = rng.normal([-4, -4], [0.5, 1.0], size=(n // 2, 2))
+    b = rng.normal([4, 4], [1.0, 0.5], size=(n // 2, 2))
+    return np.vstack([a, b])
+
+
+@pytest.fixture(scope="module")
+def mixture():
+    return DiagGaussianMixture(
+        weights=np.array([0.5, 0.5]),
+        means=np.array([[-4.0, -4.0], [4.0, 4.0]]),
+        variances=np.array([[0.25, 1.0], [1.0, 0.25]]),
+    )
+
+
+class TestDiagGaussianMixture:
+    def test_shape_validation(self):
+        with pytest.raises(ConfigError):
+            DiagGaussianMixture(np.array([1.0]), np.zeros((2, 2)), np.ones((2, 2)))
+
+    def test_weight_validation(self):
+        with pytest.raises(ConfigError):
+            DiagGaussianMixture(np.array([0.7, 0.7]), np.zeros((2, 2)), np.ones((2, 2)))
+
+    def test_responsibilities_normalised(self, mixture):
+        x = RNG.normal(size=(50, 2)) * 5
+        resp = mixture.responsibilities(x)
+        np.testing.assert_allclose(resp.sum(axis=1), 1.0)
+
+    def test_assign_separated_clusters(self, mixture):
+        assign = mixture.assign(np.array([[-4.0, -4.0], [4.0, 4.0]]))
+        assert assign[0] != assign[1]
+
+    def test_sample_statistics(self, mixture):
+        s = mixture.sample(40_000, rng=np.random.default_rng(1))
+        np.testing.assert_allclose(s.mean(axis=0), [0.0, 0.0], atol=0.1)
+
+    def test_box_mass_full_space(self, mixture):
+        masses = mixture.component_box_mass(
+            np.array([-1e9, -1e9]), np.array([1e9, 1e9])
+        )
+        np.testing.assert_allclose(masses, 1.0)
+
+    def test_box_mass_half_plane(self, mixture):
+        masses = mixture.component_box_mass(np.array([-1e9, -1e9]), np.array([-4.0, 1e9]))
+        assert masses[0] == pytest.approx(0.5, abs=1e-6)
+        assert masses[1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_box_mass_factorises(self, mixture):
+        lows, highs = np.array([-5.0, -5.0]), np.array([-3.0, -3.0])
+        joint = mixture.component_box_mass(lows, highs)
+        x_only = mixture.component_box_mass(
+            np.array([-5.0, -1e9]), np.array([-3.0, 1e9])
+        )
+        y_only = mixture.component_box_mass(
+            np.array([-1e9, -5.0]), np.array([1e9, -3.0])
+        )
+        np.testing.assert_allclose(joint, x_only * y_only, atol=1e-9)
+
+
+class TestDiagEM:
+    def test_recovers_clusters(self):
+        x = two_cluster_2d()
+        model = fit_diag_em(x, 2, rng=np.random.default_rng(0))
+        means = model.means[np.argsort(model.means[:, 0])]
+        np.testing.assert_allclose(means[0], [-4, -4], atol=0.3)
+        np.testing.assert_allclose(means[1], [4, 4], atol=0.3)
+
+    def test_too_few_rows(self):
+        with pytest.raises(ConfigError):
+            fit_diag_em(np.zeros((2, 2)), 5)
+
+    def test_likelihood_finite_with_excess_components(self):
+        x = RNG.normal(size=(300, 3))
+        model = fit_diag_em(x, 10, rng=np.random.default_rng(1))
+        assert np.isfinite(model.log_prob(x)).all()
+
+
+class TestIAMMultiGMM:
+    @pytest.fixture(scope="class")
+    def table(self):
+        rng = np.random.default_rng(2)
+        points = two_cluster_2d(4000, rng)
+        cat = (points[:, 0] > 0).astype(np.int64)  # correlated categorical
+        return Table.from_mapping(
+            "t",
+            {
+                "cat": cat,
+                "x": np.round(points[:, 0], 4),
+                "y": np.round(points[:, 1], 4),
+            },
+        )
+
+    @pytest.fixture(scope="class")
+    def fitted(self, table):
+        return IAMMultiGMM(
+            n_components=8, gmm_domain_threshold=100, epochs=4,
+            hidden_sizes=(32, 32, 32), learning_rate=1e-2,
+            n_progressive_samples=200, seed=0,
+        ).fit(table)
+
+    def test_groups_continuous_columns(self, fitted):
+        assert fitted._grouped_columns == ["x", "y"]
+        assert fitted._exact_columns == ["cat"]
+        assert fitted.model.vocab_sizes[0] == 8
+
+    def test_accuracy(self, fitted, table):
+        workload = Workload.generate(table, 30, seed=3)
+        errors = q_errors(
+            workload.true_selectivities,
+            fitted.estimate_many(workload.queries),
+            table.num_rows,
+        )
+        assert np.median(errors) < 2.0
+
+    def test_mixed_grouped_and_exact_query(self, fitted, table):
+        q = Query.from_pairs([("cat", "=", 0), ("x", "<=", 0.0)])
+        truth = ((table["cat"].values == 0) & (table["x"].values <= 0.0)).mean()
+        assert fitted.estimate(q) == pytest.approx(truth, rel=0.4)
+
+    def test_empirical_variant_counts_memory(self, table):
+        exact = IAMMultiGMM(n_components=4, gmm_domain_threshold=100, epochs=1,
+                            hidden_sizes=(16, 16, 16), seed=0).fit(table)
+        empirical = IAMMultiGMM(n_components=4, box_mass="empirical",
+                                gmm_domain_threshold=100, epochs=1,
+                                hidden_sizes=(16, 16, 16), seed=0).fit(table)
+        assert empirical.size_bytes() > exact.size_bytes() + table.num_rows
+
+    def test_rejects_without_eligible_columns(self):
+        t = Table.from_mapping("t", {"a": np.arange(100) % 5})
+        with pytest.raises(ConfigError):
+            IAMMultiGMM(gmm_domain_threshold=1000, epochs=1).fit(t)
+
+    def test_invalid_box_mass(self):
+        with pytest.raises(ConfigError):
+            IAMMultiGMM(box_mass="fuzzy")
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            IAMMultiGMM().estimate_many([])

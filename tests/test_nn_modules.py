@@ -1,0 +1,180 @@
+"""NN module tests: registration, masking, embeddings, losses, blocks."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autodiff import Tensor, gradient_check
+from repro.errors import ShapeError
+
+RNG = np.random.default_rng(0)
+
+
+class TestModuleInfrastructure:
+    def test_parameter_requires_grad(self):
+        p = nn.Parameter(np.zeros(3))
+        assert p.requires_grad
+
+    def test_parameters_traversal_nested(self):
+        model = nn.Sequential(nn.Linear(2, 3), nn.ReLU(), nn.Linear(3, 1))
+        names = [n for n, _ in model.named_parameters()]
+        assert "layer0.weight" in names and "layer2.bias" in names
+        assert len(model.parameters()) == 4
+
+    def test_num_parameters_and_size(self):
+        layer = nn.Linear(4, 5)
+        assert layer.num_parameters() == 4 * 5 + 5
+        assert layer.size_bytes() == layer.num_parameters() * 4
+
+    def test_state_dict_roundtrip(self):
+        a = nn.Linear(3, 2, rng=RNG)
+        b = nn.Linear(3, 2, rng=RNG)
+        b.load_state_dict(a.state_dict())
+        x = RNG.normal(size=(4, 3))
+        np.testing.assert_allclose(a(Tensor(x)).numpy(), b(Tensor(x)).numpy())
+
+    def test_state_dict_copy_is_deep(self):
+        a = nn.Linear(2, 2)
+        sd = a.state_dict()
+        sd["weight"][:] = 99.0
+        assert not np.allclose(a.weight.data, 99.0)
+
+    def test_load_state_dict_missing_key(self):
+        a = nn.Linear(2, 2)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_load_state_dict_shape_mismatch(self):
+        a = nn.Linear(2, 2)
+        state = a.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_train_eval_mode(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.ReLU())
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears_all(self):
+        layer = nn.Linear(2, 1)
+        layer(Tensor(np.ones((3, 2)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestLinear:
+    def test_shapes(self):
+        out = nn.Linear(4, 6)(Tensor(np.zeros((5, 4))))
+        assert out.shape == (5, 6)
+
+    def test_no_bias(self):
+        layer = nn.Linear(3, 2, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradients_flow(self):
+        layer = nn.Linear(3, 2, rng=RNG)
+        layer(Tensor(RNG.normal(size=(4, 3)))).sum().backward()
+        assert layer.weight.grad is not None and layer.bias.grad is not None
+
+
+class TestMaskedLinear:
+    def test_mask_zeroes_connections(self):
+        layer = nn.MaskedLinear(2, 2, rng=RNG)
+        layer.set_mask(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        x = np.array([[1.0, 0.0]])
+        out = layer(Tensor(x)).numpy() - layer.bias.data
+        assert out[0, 1] == pytest.approx(0.0)
+
+    def test_mask_shape_validated(self):
+        with pytest.raises(ShapeError):
+            nn.MaskedLinear(2, 3).set_mask(np.ones((3, 2)))
+
+    def test_masked_weights_get_no_gradient(self):
+        layer = nn.MaskedLinear(2, 2, rng=RNG)
+        mask = np.array([[1.0, 0.0], [1.0, 1.0]])
+        layer.set_mask(mask)
+        layer(Tensor(RNG.normal(size=(5, 2)))).sum().backward()
+        assert layer.weight.grad[0, 1] == 0.0
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = nn.Embedding(10, 4)
+        assert emb(np.array([1, 2, 3])).shape == (3, 4)
+
+    def test_2d_indices(self):
+        emb = nn.Embedding(10, 4)
+        assert emb(np.zeros((2, 3), dtype=np.int64)).shape == (2, 3, 4)
+
+
+class TestResidualBlock:
+    def test_identity_when_weights_zero(self):
+        block = nn.MaskedResidualBlock(4)
+        for p in (block.linear1.weight, block.linear2.weight):
+            p.data = np.zeros_like(p.data)
+        x = RNG.normal(size=(3, 4))
+        np.testing.assert_allclose(block(Tensor(x)).numpy(), x)
+
+    def test_set_mask_applies_to_both(self):
+        block = nn.MaskedResidualBlock(3)
+        mask = np.tril(np.ones((3, 3)))
+        block.set_mask(mask)
+        np.testing.assert_array_equal(block.linear1.mask, mask)
+        np.testing.assert_array_equal(block.linear2.mask, mask)
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self):
+        logits = RNG.normal(size=(4, 3))
+        targets = np.array([0, 1, 2, 1])
+        loss = nn.cross_entropy(Tensor(logits), targets).item()
+        e = np.exp(logits - logits.max(axis=1, keepdims=True))
+        p = e / e.sum(axis=1, keepdims=True)
+        manual = -np.log(p[np.arange(4), targets]).mean()
+        assert loss == pytest.approx(manual)
+
+    def test_cross_entropy_reductions(self):
+        logits = Tensor(RNG.normal(size=(4, 3)))
+        targets = np.array([0, 1, 2, 1])
+        total = nn.cross_entropy(logits, targets, reduction="sum").item()
+        mean = nn.cross_entropy(logits, targets, reduction="mean").item()
+        assert total == pytest.approx(mean * 4)
+        none = nn.cross_entropy(logits, targets, reduction="none")
+        assert none.shape == (4,)
+
+    def test_cross_entropy_gradient(self):
+        targets = np.array([2, 0])
+        gradient_check(
+            lambda x: nn.cross_entropy(x, targets), [RNG.normal(size=(2, 4))]
+        )
+
+    def test_nll_loss(self):
+        logp = np.log(np.full((2, 2), 0.5))
+        loss = nn.nll_loss(Tensor(logp), np.array([0, 1])).item()
+        assert loss == pytest.approx(np.log(2))
+
+    def test_mse_loss(self):
+        loss = nn.mse_loss(Tensor([1.0, 3.0]), np.array([0.0, 0.0])).item()
+        assert loss == pytest.approx(5.0)
+
+
+class TestContainers:
+    def test_sequential_iteration(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], nn.ReLU)
+
+    def test_module_list_registers_params(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(ml.parameters()) == 4
+        assert len(ml) == 2
+
+    def test_module_list_append(self):
+        ml = nn.ModuleList()
+        ml.append(nn.Linear(1, 1))
+        assert len(ml.parameters()) == 2

@@ -1,0 +1,149 @@
+"""Optimizers, schedulers, clipping, serialization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autodiff import Tensor
+from repro.errors import ConfigError
+
+RNG = np.random.default_rng(1)
+
+
+def quadratic_step(optimizer, p, target=3.0):
+    loss = ((p - target) ** 2).sum()
+    optimizer.zero_grad()
+    loss.backward()
+    optimizer.step()
+    return loss.item()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = nn.Parameter(np.array([0.0]))
+        opt = nn.SGD([p], lr=0.1)
+        for _ in range(100):
+            quadratic_step(opt, p)
+        assert p.data[0] == pytest.approx(3.0, abs=1e-3)
+
+    def test_momentum_converges(self):
+        p = nn.Parameter(np.array([0.0]))
+        opt = nn.SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(150):
+            quadratic_step(opt, p)
+        assert p.data[0] == pytest.approx(3.0, abs=1e-2)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ConfigError):
+            nn.SGD([nn.Parameter(np.zeros(1))], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ConfigError):
+            nn.SGD([nn.Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+    def test_skips_params_without_grad(self):
+        p = nn.Parameter(np.array([1.0]))
+        opt = nn.SGD([p], lr=0.1)
+        opt.step()  # no grad: no movement, no crash
+        assert p.data[0] == 1.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = nn.Parameter(np.array([0.0]))
+        opt = nn.Adam([p], lr=0.1)
+        for _ in range(200):
+            quadratic_step(opt, p)
+        assert p.data[0] == pytest.approx(3.0, abs=1e-2)
+
+    def test_bias_correction_first_step_bounded(self):
+        # The first Adam step is ~lr regardless of gradient scale.
+        p = nn.Parameter(np.array([0.0]))
+        opt = nn.Adam([p], lr=0.1)
+        loss = (p * 1e6).sum()
+        loss.backward()
+        opt.step()
+        assert abs(p.data[0]) < 0.11
+
+    def test_invalid_betas(self):
+        with pytest.raises(ConfigError):
+            nn.Adam([nn.Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+    def test_weight_decay_shrinks(self):
+        p = nn.Parameter(np.array([5.0]))
+        opt = nn.Adam([p], lr=0.1, weight_decay=0.1)
+        loss = (p * 0.0).sum()
+        loss.backward()
+        opt.step()
+        assert p.data[0] < 5.0
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        p = nn.Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        norm = nn.clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients(self):
+        p = nn.Parameter(np.zeros(2))
+        p.grad = np.array([0.1, 0.1])
+        nn.clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.1, 0.1])
+
+    def test_empty_grads_ok(self):
+        assert nn.clip_grad_norm([nn.Parameter(np.zeros(1))], 1.0) == 0.0
+
+
+class TestSchedulers:
+    def test_constant(self):
+        opt = nn.SGD([nn.Parameter(np.zeros(1))], lr=0.5)
+        sched = nn.ConstantLR(opt)
+        sched.step()
+        assert opt.lr == 0.5
+
+    def test_step_decay(self):
+        opt = nn.SGD([nn.Parameter(np.zeros(1))], lr=1.0)
+        sched = nn.StepDecayLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_endpoints(self):
+        opt = nn.SGD([nn.Parameter(np.zeros(1))], lr=1.0)
+        sched = nn.CosineDecayLR(opt, total_epochs=10, min_lr=0.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSerialization:
+    def test_npz_roundtrip(self, tmp_path):
+        model = nn.Sequential(nn.Linear(3, 4, rng=RNG), nn.ReLU(), nn.Linear(4, 1, rng=RNG))
+        path = tmp_path / "model.npz"
+        nn.save_state_dict(model, path)
+        other = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 1))
+        nn.load_state_dict(other, path)
+        x = RNG.normal(size=(5, 3))
+        np.testing.assert_allclose(
+            model(Tensor(x)).numpy(), other(Tensor(x)).numpy()
+        )
+
+
+class TestEndToEndTraining:
+    def test_mlp_learns_nonlinear_function(self):
+        X = RNG.uniform(-1, 1, size=(512, 2))
+        y = ((X[:, 0] * X[:, 1]) > 0).astype(float)
+        model = nn.Sequential(nn.Linear(2, 32, rng=RNG), nn.ReLU(), nn.Linear(32, 1, rng=RNG))
+        opt = nn.Adam(model.parameters(), lr=1e-2)
+        from repro.autodiff import ops
+
+        for _ in range(300):
+            p = ops.sigmoid(model(Tensor(X)).reshape(-1))
+            loss = nn.mse_loss(p, y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.08

@@ -1,0 +1,142 @@
+"""Optimizer simulator: plans, cost model, DP choice, executor, E2E."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.imdb import make_imdb
+from repro.joins import JoinQuery, JoinWorkload
+from repro.optimizer import (
+    JoinPlan,
+    choose_plan,
+    enumerate_plans,
+    execute_plan,
+    run_end_to_end,
+    true_plan_cost,
+)
+from repro.optimizer.cost import subquery_for
+from repro.query import Query
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return make_imdb(n_titles=800, n_movie_info=2400, n_cast_info=3200,
+                     n_movie_keyword=1600, seed=0)
+
+
+@pytest.fixture(scope="module")
+def query(schema):
+    return JoinQuery(
+        tables=frozenset({"title", "movie_info", "cast_info"}),
+        query=Query.from_pairs(
+            [("production_year", ">=", 2000), ("info_type_id", "=", 3)]
+        ),
+    )
+
+
+class TestPlans:
+    def test_enumerates_permutations(self, schema, query):
+        plans = enumerate_plans(query, schema)
+        assert len(plans) == 2  # two satellites in the subset
+        orders = {p.satellite_order for p in plans}
+        assert ("movie_info", "cast_info") in orders
+
+    def test_hub_only_plan(self, schema):
+        jq = JoinQuery(frozenset({"title"}), Query.from_pairs([("kind_id", "=", 1)]))
+        plans = enumerate_plans(jq, schema)
+        assert plans == [JoinPlan(())]
+
+    def test_prefixes(self):
+        plan = JoinPlan(("a", "b"))
+        assert plan.prefixes() == [("a",), ("a", "b")]
+
+
+class TestCost:
+    def test_subquery_restricts_predicates(self, schema, query):
+        sub = subquery_for(query, schema, frozenset({"title", "cast_info"}))
+        columns = [p.column for p in sub.query]
+        assert "info_type_id" not in columns
+        assert "production_year" in columns
+
+    def test_subquery_without_predicates_is_valid(self, schema, query):
+        sub = subquery_for(query, schema, frozenset({"title", "movie_keyword"}))
+        sub.validate(schema)
+
+    def test_true_cost_selective_first_is_cheaper(self, schema):
+        """Joining the predicate-filtered satellite first costs less."""
+        jq = JoinQuery(
+            tables=frozenset({"title", "movie_info", "cast_info"}),
+            query=Query.from_pairs([("info_type_id", "=", 3)]),
+        )
+        selective_first = true_plan_cost(JoinPlan(("movie_info", "cast_info")), jq, schema)
+        selective_last = true_plan_cost(JoinPlan(("cast_info", "movie_info")), jq, schema)
+        assert selective_first < selective_last
+
+
+class TestChoosePlan:
+    def test_true_oracle_picks_minimum(self, schema, query):
+        plan, cost = choose_plan(query, schema, schema.true_cardinality)
+        costs = {
+            p.satellite_order: true_plan_cost(p, query, schema)
+            for p in enumerate_plans(query, schema)
+        }
+        assert cost == pytest.approx(min(costs.values()))
+        assert costs[plan.satellite_order] == pytest.approx(min(costs.values()))
+
+    def test_oracle_memoised(self, schema, query):
+        calls = []
+
+        def oracle(jq):
+            calls.append(jq.tables)
+            return schema.true_cardinality(jq)
+
+        choose_plan(query, schema, oracle)
+        assert len(calls) == len(set(calls))  # one call per distinct subset
+
+
+class TestExecutor:
+    def test_cardinality_matches_truth(self, schema, query):
+        plan, _ = choose_plan(query, schema, schema.true_cardinality)
+        result = execute_plan(plan, query, schema)
+        assert result.cardinality == schema.true_cardinality(query)
+
+    def test_cardinality_order_independent(self, schema, query):
+        results = {
+            plan.satellite_order: execute_plan(plan, query, schema).cardinality
+            for plan in enumerate_plans(query, schema)
+        }
+        assert len(set(results.values())) == 1
+
+    def test_intermediate_rows_depend_on_order(self, schema):
+        jq = JoinQuery(
+            tables=frozenset({"title", "movie_info", "cast_info"}),
+            query=Query.from_pairs([("info_type_id", "=", 3)]),
+        )
+        sizes = {
+            plan.satellite_order: execute_plan(plan, jq, schema).intermediate_rows
+            for plan in enumerate_plans(jq, schema)
+        }
+        assert sizes[("movie_info", "cast_info")] < sizes[("cast_info", "movie_info")]
+
+
+class TestEndToEnd:
+    def test_true_oracle_is_optimal_everywhere(self, schema):
+        workload = JoinWorkload.generate(schema, 10, seed=1)
+        results = run_end_to_end(schema, workload.queries, {}, repeats=1)
+        (true_result,) = results
+        assert true_result.name == "true"
+        assert true_result.optimal_plan_rate == 1.0
+
+    def test_bad_oracle_loses_on_intermediates(self, schema):
+        workload = JoinWorkload.generate(schema, 15, seed=2)
+        results = run_end_to_end(
+            schema,
+            workload.queries,
+            {"inverted": lambda jq: 1.0 / max(schema.true_cardinality(jq), 1)},
+            repeats=1,
+        )
+        by_name = {r.name: r for r in results}
+        assert (
+            by_name["inverted"].total_intermediate_rows
+            >= by_name["true"].total_intermediate_rows
+        )
+        assert by_name["inverted"].optimal_plan_rate <= 1.0

@@ -1,0 +1,213 @@
+"""Query layer: predicates, conjunctions, DNF, generation, execution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.table import Table
+from repro.errors import ConfigError, QueryError
+from repro.query import (
+    DNFQuery,
+    Op,
+    Predicate,
+    Query,
+    QueryGenerator,
+    Workload,
+    estimate_dnf,
+    execute_query,
+    true_selectivity,
+)
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(1)
+    return Table.from_mapping(
+        "t",
+        {
+            "cat": rng.integers(0, 5, 1000),
+            "x": np.round(rng.normal(size=1000), 3),
+        },
+    )
+
+
+class TestPredicate:
+    def test_op_coercion_from_string(self):
+        p = Predicate("x", "<=", 3.0)
+        assert p.op is Op.LE
+
+    def test_evaluate_all_operators(self):
+        values = np.array([1.0, 2.0, 3.0])
+        cases = {
+            Op.EQ: [False, True, False],
+            Op.NEQ: [True, False, True],
+            Op.LT: [True, False, False],
+            Op.LE: [True, True, False],
+            Op.GT: [False, False, True],
+            Op.GE: [False, True, True],
+        }
+        for op, expected in cases.items():
+            np.testing.assert_array_equal(
+                Predicate("x", op, 2.0).evaluate(values), expected
+            )
+
+    def test_intervals_eq(self):
+        assert Predicate("x", Op.EQ, 2.0).intervals() == [(2.0, 2.0)]
+
+    def test_intervals_le_clips_domain(self):
+        (lo, hi), = Predicate("x", Op.LE, 2.0).intervals(domain_min=0.0)
+        assert (lo, hi) == (0.0, 2.0)
+
+    def test_intervals_lt_excludes_endpoint(self):
+        (_, hi), = Predicate("x", Op.LT, 2.0).intervals()
+        assert hi < 2.0
+
+    def test_intervals_neq_two_pieces(self):
+        pieces = Predicate("x", Op.NEQ, 2.0).intervals(domain_min=0.0, domain_max=4.0)
+        assert len(pieces) == 2
+        assert pieces[0][1] < 2.0 < pieces[1][0]
+
+    def test_str(self):
+        assert str(Predicate("x", Op.GE, 1.0)) == "x >= 1.0"
+
+
+class TestQuery:
+    def test_requires_predicates(self):
+        with pytest.raises(QueryError):
+            Query([])
+
+    def test_columns_in_order_dedup(self):
+        q = Query.from_pairs([("x", "<=", 1.0), ("y", ">=", 0.0), ("x", ">=", 0.0)])
+        assert q.columns == ["x", "y"]
+
+    def test_constraints_intersect_same_column(self, table):
+        q = Query.from_pairs([("x", ">=", 0.0), ("x", "<=", 1.0)])
+        c = q.constraints(table)["x"]
+        assert c.intervals == ((0.0, 1.0),)
+
+    def test_constraints_empty_when_contradictory(self, table):
+        q = Query.from_pairs([("x", ">=", 1.0), ("x", "<=", 0.0)])
+        assert q.constraints(table)["x"].is_empty
+
+    def test_constraints_clip_to_observed_domain(self, table):
+        q = Query.from_pairs([("x", "<=", 100.0)])
+        c = q.constraints(table)["x"]
+        assert c.intervals[0][1] == table["x"].max
+
+    def test_point_constraint_detection(self, table):
+        q = Query.from_pairs([("cat", "=", 3)])
+        assert q.constraints(table)["cat"].is_point
+
+    def test_neq_constraint_two_intervals(self, table):
+        q = Query.from_pairs([("cat", "!=", 2)])
+        c = q.constraints(table)["cat"]
+        assert len(c.intervals) == 2
+
+    def test_bounds_of_empty_raises(self, table):
+        q = Query.from_pairs([("x", ">=", 1.0), ("x", "<=", 0.0)])
+        with pytest.raises(QueryError):
+            q.constraints(table)["x"].bounds()
+
+
+class TestExecutor:
+    def test_conjunction_matches_manual(self, table):
+        q = Query.from_pairs([("cat", "=", 1), ("x", ">=", 0.0)])
+        mask = execute_query(table, q)
+        manual = (table["cat"].values == 1) & (table["x"].values >= 0.0)
+        np.testing.assert_array_equal(mask, manual)
+
+    def test_true_selectivity_floor(self, table):
+        q = Query.from_pairs([("x", ">=", 1e9)])
+        assert true_selectivity(table, q) == 1.0 / table.num_rows
+        assert true_selectivity(table, q, floor=False) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(-3, 3), st.floats(-3, 3))
+    def test_selectivity_matches_numpy(self, lo, hi):
+        rng = np.random.default_rng(4)
+        t = Table.from_mapping("t", {"x": rng.normal(size=500)})
+        q = Query.from_pairs([("x", ">=", lo), ("x", "<=", hi)])
+        expected = ((t["x"].values >= lo) & (t["x"].values <= hi)).mean()
+        assert true_selectivity(t, q, floor=False) == pytest.approx(expected)
+
+
+class TestDNF:
+    def test_inclusion_exclusion_exact(self, table):
+        a = Query.from_pairs([("x", "<=", 0.0)])
+        b = Query.from_pairs([("cat", "=", 1)])
+        dnf = DNFQuery([a, b])
+        est = estimate_dnf(dnf, lambda q: true_selectivity(table, q, floor=False))
+        truth = (execute_query(table, a) | execute_query(table, b)).mean()
+        assert est == pytest.approx(truth)
+
+    def test_three_clauses(self, table):
+        clauses = [
+            Query.from_pairs([("x", "<=", -0.5)]),
+            Query.from_pairs([("x", ">=", 0.5)]),
+            Query.from_pairs([("cat", "=", 0)]),
+        ]
+        dnf = DNFQuery(clauses)
+        est = estimate_dnf(dnf, lambda q: true_selectivity(table, q, floor=False))
+        masks = [execute_query(table, c) for c in clauses]
+        truth = (masks[0] | masks[1] | masks[2]).mean()
+        assert est == pytest.approx(truth)
+
+    def test_clamped_to_unit(self, table):
+        dnf = DNFQuery([Query.from_pairs([("x", "<=", 100.0)])] * 2)
+        est = estimate_dnf(dnf, lambda q: 0.9)
+        assert 0.0 <= est <= 1.0
+
+    def test_too_many_clauses(self):
+        q = Query.from_pairs([("x", "<=", 0.0)])
+        with pytest.raises(QueryError):
+            DNFQuery([q] * 13)
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            DNFQuery([])
+
+
+class TestGenerator:
+    def test_predicate_count_bounds(self, table):
+        g = QueryGenerator(table, min_predicates=2, max_predicates=2, seed=0)
+        for _ in range(20):
+            q = g.generate()
+            assert len(q.columns) == 2
+
+    def test_operators_respect_column_kinds(self, table):
+        g = QueryGenerator(table, seed=1)
+        for q in g.generate_many(50):
+            for p in q:
+                if p.column == "x":
+                    assert p.op in (Op.LE, Op.GE)
+
+    def test_invalid_bounds(self, table):
+        with pytest.raises(ConfigError):
+            QueryGenerator(table, min_predicates=3, max_predicates=2)
+
+    def test_deterministic_with_seed(self, table):
+        a = QueryGenerator(table, seed=9).generate_many(5)
+        b = QueryGenerator(table, seed=9).generate_many(5)
+        assert [str(q) for q in a] == [str(q) for q in b]
+
+    def test_centered_queries_low_selectivity(self, table):
+        g = QueryGenerator(table, seed=2)
+        sels = [
+            true_selectivity(table, g.generate_centered(0.01)) for _ in range(30)
+        ]
+        assert np.median(sels) < 0.2
+
+
+class TestWorkload:
+    def test_generate_labels_exactly(self, table):
+        w = Workload.generate(table, 10, seed=3)
+        for query, sel in w:
+            assert sel == true_selectivity(table, query)
+
+    def test_split(self, table):
+        w = Workload.generate(table, 10, seed=3)
+        a, b = w.split(7)
+        assert len(a) == 7 and len(b) == 3

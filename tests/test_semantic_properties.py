@@ -1,0 +1,118 @@
+"""Cross-representation semantic properties, via hypothesis.
+
+These pin down the contracts the whole system leans on: a predicate's
+boolean evaluation must agree with its interval form; a query's
+constraint normalisation must agree with direct execution; a reducer's
+weighted masses must reconstruct marginal selectivities.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.table import Table
+from repro.query.predicate import Op, Predicate
+from repro.query.query import Query
+from repro.query.executor import execute_query
+
+ops = st.sampled_from(list(Op))
+values = st.floats(-50, 50, allow_nan=False)
+columns = hnp.arrays(
+    np.float64, st.integers(5, 60), elements=st.floats(-40, 40, allow_nan=False)
+)
+
+
+class TestPredicateIntervalConsistency:
+    """evaluate(v) is True  <=>  v lies in one of intervals()."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(columns, ops, values)
+    def test_mask_equals_interval_membership(self, data, op, value):
+        predicate = Predicate("x", op, value)
+        mask = predicate.evaluate(data)
+        lo, hi = data.min(), data.max()
+        pieces = predicate.intervals(domain_min=lo, domain_max=hi)
+        member = np.zeros(len(data), dtype=bool)
+        for a, b in pieces:
+            member |= (data >= a) & (data <= b)
+        np.testing.assert_array_equal(mask, member)
+
+
+class TestQueryConstraintConsistency:
+    """Counting rows inside the normalised constraints == execute_query."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        columns,
+        st.lists(st.tuples(ops, values), min_size=1, max_size=4),
+    )
+    def test_constraints_reproduce_execution(self, data, predicate_specs):
+        table = Table.from_mapping("t", {"x": data})
+        query = Query([Predicate("x", op, v) for op, v in predicate_specs])
+        expected = execute_query(table, query)
+
+        constraint = query.constraints(table)["x"]
+        member = np.zeros(len(data), dtype=bool)
+        for a, b in constraint.intervals:
+            member |= (data >= a) & (data <= b)
+        np.testing.assert_array_equal(member, expected)
+
+
+class TestReducerMarginalReconstruction:
+    """For any reducer: sum_k P(token=k) * mass_k(R) must equal the true
+    marginal selectivity when masses are empirical-exact, and approximate
+    it otherwise."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hnp.arrays(np.float64, st.integers(200, 500),
+                   elements=st.floats(-10, 10, allow_nan=False)),
+        st.floats(-12, 12), st.floats(0, 20),
+    )
+    def test_identity_reducer_exact(self, data, low, width):
+        from repro.reducers import IdentityReducer
+
+        data = np.round(data, 2)
+        reducer = IdentityReducer().fit(data)
+        tokens = reducer.transform(data)
+        freq = np.bincount(tokens, minlength=reducer.n_tokens) / len(data)
+        high = low + width
+        estimate = float(freq @ reducer.range_mass([(low, high)]))
+        truth = ((data >= low) & (data <= high)).mean()
+        assert estimate == pytest.approx(truth, abs=1e-12)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_gmm_empirical_reducer_exact(self, seed):
+        from repro.reducers import GMMReducer
+
+        rng = np.random.default_rng(seed)
+        data = np.round(rng.normal(size=600) * 3, 2)
+        reducer = GMMReducer(
+            n_components=4, interval_kind="empirical", sgd_epochs=1, seed=0
+        ).fit(data)
+        tokens = reducer.transform(data)
+        freq = np.bincount(tokens, minlength=reducer.n_tokens) / len(data)
+        low, high = float(np.quantile(data, 0.2)), float(np.quantile(data, 0.7))
+        estimate = float(freq @ reducer.range_mass([(low, high)]))
+        truth = ((data >= low) & (data <= high)).mean()
+        assert estimate == pytest.approx(truth, abs=1e-9)
+
+
+class TestFactorizerTokenBijection:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 400), st.integers(3, 20), st.integers(0, 10**6))
+    def test_encode_decode_identity(self, domain, cap, seed):
+        from repro.reducers.factorize import ColumnFactorizer
+
+        rng = np.random.default_rng(seed)
+        values = np.sort(rng.choice(10**6, size=domain, replace=False)).astype(float)
+        factorizer = ColumnFactorizer(values, max_subdomain=cap)
+        sample = rng.choice(values, size=min(domain, 50))
+        np.testing.assert_array_equal(
+            factorizer.decode(factorizer.encode(sample)), sample
+        )
+        # Digit vocabularies never exceed the cap.
+        assert all(v <= cap for v in factorizer.digit_vocabs)

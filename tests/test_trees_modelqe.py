@@ -1,0 +1,146 @@
+"""Regression trees, gradient boosting, and the Model_QE estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, NotFittedError
+from repro.estimators import build_estimator
+from repro.estimators.modelqe import ModelQE
+from repro.metrics import q_errors
+from repro.query import Workload
+from repro.trees import GradientBoostedRegressor, RegressionTree
+
+RNG = np.random.default_rng(0)
+
+
+class TestRegressionTree:
+    def test_fits_step_function_exactly(self):
+        x = np.linspace(0, 1, 200).reshape(-1, 1)
+        y = (x[:, 0] > 0.5).astype(float) * 3.0
+        tree = RegressionTree(max_depth=2, min_samples_leaf=2).fit(x, y)
+        np.testing.assert_allclose(tree.predict(x), y, atol=1e-12)
+        assert tree.n_leaves() == 2
+
+    def test_respects_max_depth(self):
+        x = RNG.random((500, 1))
+        y = np.sin(8 * x[:, 0])
+        tree = RegressionTree(max_depth=3, min_samples_leaf=2).fit(x, y)
+        assert tree.n_leaves() <= 2**3
+
+    def test_min_samples_leaf(self):
+        x = RNG.random((40, 1))
+        y = RNG.random(40)
+        tree = RegressionTree(max_depth=10, min_samples_leaf=10).fit(x, y)
+        # No leaf can hold fewer than 10 points: at most 4 leaves.
+        assert tree.n_leaves() <= 4
+
+    def test_constant_target_single_leaf(self):
+        x = RNG.random((50, 2))
+        tree = RegressionTree().fit(x, np.full(50, 2.5))
+        assert tree.n_leaves() == 1
+        np.testing.assert_allclose(tree.predict(x), 2.5)
+
+    def test_picks_informative_feature(self):
+        x = np.column_stack([RNG.random(300), RNG.random(300)])
+        y = (x[:, 1] > 0.5).astype(float)  # only feature 1 matters
+        tree = RegressionTree(max_depth=1).fit(x, y)
+        assert tree._root.feature == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(NotFittedError):
+            RegressionTree().predict(np.zeros((1, 1)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 6))
+    def test_deeper_never_worse_on_train(self, depth):
+        rng = np.random.default_rng(7)
+        x = rng.random((300, 2))
+        y = np.sin(5 * x[:, 0]) + x[:, 1]
+        shallow = RegressionTree(max_depth=depth, min_samples_leaf=2).fit(x, y)
+        deeper = RegressionTree(max_depth=depth + 1, min_samples_leaf=2).fit(x, y)
+        sse = lambda t: ((t.predict(x) - y) ** 2).sum()
+        assert sse(deeper) <= sse(shallow) + 1e-9
+
+
+class TestGBDT:
+    def test_train_error_monotone(self):
+        x = RNG.random((400, 2))
+        y = np.sin(6 * x[:, 0]) * x[:, 1]
+        model = GradientBoostedRegressor(n_estimators=40, seed=0).fit(x, y)
+        errors = model.train_errors_
+        assert all(b <= a + 1e-9 for a, b in zip(errors, errors[1:]))
+        assert errors[-1] < errors[0] / 3
+
+    def test_predicts_smooth_function(self):
+        x = np.linspace(0, 1, 500).reshape(-1, 1)
+        y = np.sin(4 * x[:, 0])
+        model = GradientBoostedRegressor(n_estimators=80, max_depth=3, seed=0).fit(x, y)
+        rmse = np.sqrt(((model.predict(x) - y) ** 2).mean())
+        assert rmse < 0.05
+
+    def test_subsample_still_learns(self):
+        x = RNG.random((600, 2))
+        y = x[:, 0] * 2 + x[:, 1]
+        model = GradientBoostedRegressor(
+            n_estimators=60, subsample=0.5, seed=0
+        ).fit(x, y)
+        rmse = np.sqrt(((model.predict(x) - y) ** 2).mean())
+        assert rmse < 0.15
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            GradientBoostedRegressor(learning_rate=0.0)
+        with pytest.raises(ConfigError):
+            GradientBoostedRegressor(subsample=1.5)
+        with pytest.raises(NotFittedError):
+            GradientBoostedRegressor().predict(np.zeros((1, 1)))
+
+    def test_size_bytes_grows_with_trees(self):
+        x = RNG.random((200, 1))
+        y = np.sin(6 * x[:, 0])
+        small = GradientBoostedRegressor(n_estimators=5, seed=0).fit(x, y)
+        big = GradientBoostedRegressor(n_estimators=50, seed=0).fit(x, y)
+        assert big.size_bytes() > small.size_bytes()
+
+
+class TestModelQE:
+    @pytest.fixture(scope="class")
+    def setup(self, twi_small):
+        workload = Workload.generate(twi_small, 300, seed=20)
+        train, test = workload.split(240)
+        estimator = ModelQE(n_estimators=120, seed=0).fit(twi_small, workload=train)
+        return estimator, test, twi_small
+
+    def test_requires_workload(self, twi_small):
+        with pytest.raises(NotFittedError):
+            ModelQE().fit(twi_small)
+
+    def test_accuracy_similar_to_mscn_regime(self, setup):
+        estimator, test, table = setup
+        errors = q_errors(
+            test.true_selectivities, estimator.estimate_many(test.queries), table.num_rows
+        )
+        assert np.median(errors) < 3.0
+
+    def test_batch_inference_fast(self, setup):
+        import time
+
+        estimator, test, _ = setup
+        start = time.perf_counter()
+        estimator.estimate_many(test.queries * 4)
+        per_query_ms = (time.perf_counter() - start) * 1000 / (len(test.queries) * 4)
+        assert per_query_ms < 5.0  # Table 7's regime: far below AR models
+
+    def test_registered_as_query_driven(self):
+        from repro.estimators.registry import QUERY_DRIVEN
+
+        assert "modelqe" in QUERY_DRIVEN
+        assert build_estimator("modelqe").name == "modelqe"
+
+    def test_size_bytes(self, setup):
+        estimator, _, _ = setup
+        assert estimator.size_bytes() > 0

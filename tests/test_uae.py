@@ -1,0 +1,109 @@
+"""UAE / UAE-Q: differentiable progressive sampling and query training."""
+
+import numpy as np
+import pytest
+
+from repro.ar.progressive import SlotConstraint, differentiable_estimate
+from repro.ar.made import build_made
+from repro.data.table import Table
+from repro.errors import ConfigError, NotFittedError
+from repro.estimators import UAEEstimator, build_estimator
+from repro.metrics import q_errors
+from repro.query import Workload
+from repro.utils.rng import ensure_rng
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(3)
+    a = rng.integers(0, 6, 3000)
+    x = np.round(rng.normal(a * 1.5, 0.5, 3000), 3)
+    return Table.from_mapping("t", {"a": a, "x": x})
+
+
+@pytest.fixture(scope="module")
+def workloads(table):
+    w = Workload.generate(table, 160, seed=4)
+    return w.split(120)
+
+
+FAST = dict(epochs=4, hidden_sizes=(32, 32, 32), n_progressive_samples=200,
+            learning_rate=1e-2, factorize_threshold=500, seed=0)
+
+
+class TestDifferentiableEstimate:
+    def test_matches_nondifferentiable_in_expectation(self):
+        model = build_made([4, 3], hidden_sizes=(16, 16, 16), seed=0)
+        mass_a = np.array([1.0, 1.0, 0.0, 0.0])
+        constraints = [SlotConstraint(mass=mass_a), None]
+        rng = ensure_rng(0)
+        diff = [
+            differentiable_estimate(model, constraints, 128, rng).item()
+            for _ in range(20)
+        ]
+        from repro.ar.progressive import ProgressiveSampler
+
+        plain = ProgressiveSampler(model, n_samples=2560, seed=1).estimate(constraints)
+        assert np.mean(diff) == pytest.approx(plain, rel=0.1)
+
+    def test_gradients_reach_parameters(self):
+        model = build_made([4, 3], hidden_sizes=(16, 16, 16), seed=0)
+        constraints = [SlotConstraint(mass=np.array([1.0, 0, 0, 0])), None]
+        est = differentiable_estimate(model, constraints, 32, ensure_rng(0))
+        est.backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert grads and any(np.abs(g).sum() > 0 for g in grads)
+
+    def test_unconstrained_returns_one(self):
+        model = build_made([4, 3], hidden_sizes=(16, 16, 16), seed=0)
+        est = differentiable_estimate(model, [None, None], 16, ensure_rng(0))
+        assert est.item() == pytest.approx(1.0)
+
+    def test_constraint_count_validated(self):
+        model = build_made([4, 3], hidden_sizes=(16, 16, 16), seed=0)
+        with pytest.raises(ConfigError):
+            differentiable_estimate(model, [None], 16, ensure_rng(0))
+
+
+class TestUAE:
+    def test_requires_workload(self, table):
+        with pytest.raises(NotFittedError):
+            UAEEstimator(**FAST).fit(table)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ConfigError):
+            UAEEstimator(data_weight=0.0, query_weight=0.0)
+
+    def test_uae_learns(self, table, workloads):
+        train, test = workloads
+        est = UAEEstimator(**FAST).fit(table, workload=train)
+        errors = q_errors(
+            test.true_selectivities, est.estimate_many(test.queries), table.num_rows
+        )
+        assert np.median(errors) < 3.0
+
+    def test_uaeq_learns_from_queries_only(self, table, workloads):
+        train, test = workloads
+        est = build_estimator("uae-q", **{**FAST, "epochs": 10}).fit(table, workload=train)
+        assert est.name == "uae-q"
+        errors = q_errors(
+            test.true_selectivities, est.estimate_many(test.queries), table.num_rows
+        )
+        assert np.median(errors) < 6.0
+
+    def test_uae_beats_uaeq(self, table, workloads):
+        """Learning from data AND queries should not lose to queries-only
+        (the paper's UAE vs UAE-Q comparison)."""
+        train, test = workloads
+        uae = UAEEstimator(**FAST).fit(table, workload=train)
+        uaeq = build_estimator("uae-q", **{**FAST, "epochs": 10}).fit(table, workload=train)
+        med = lambda est: np.median(
+            q_errors(test.true_selectivities, est.estimate_many(test.queries), table.num_rows)
+        )
+        assert med(uae) <= med(uaeq) * 1.5
+
+    def test_registry_names(self):
+        assert build_estimator("uae", **FAST).name == "uae"
+        assert build_estimator("uae-q", **FAST).name == "uae-q"
