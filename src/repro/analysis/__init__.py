@@ -1,0 +1,48 @@
+"""iamlint — IAM-aware static analysis for this codebase.
+
+An AST-based rule engine with project-specific rules that guard the
+reproduction's correctness invariants: seeded RNG plumbing, autodiff
+backward coverage, the estimator registry contract, dtype uniformity,
+and a handful of general Python hygiene checks.
+
+Run it with ``python -m repro.analysis src/`` or the ``repro-lint``
+console script; see ``docs/static_analysis.md`` for the rule catalog,
+suppression syntax (``# repro: noqa[rule-id]``), and baseline workflow.
+
+Only the Python standard library is used here (``ast`` + ``tomllib``), so
+the analyzer imports fast and runs anywhere the package does.
+"""
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.config import AnalysisConfig, load_config
+from repro.analysis.engine import Report, analyze, collect_files, parse_file
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import (
+    RULES,
+    FileRule,
+    ProjectRule,
+    Rule,
+    default_rules,
+    grad_coverage_inventory,
+    make_rules,
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "FileRule",
+    "Finding",
+    "ProjectRule",
+    "Report",
+    "RULES",
+    "Rule",
+    "Severity",
+    "analyze",
+    "collect_files",
+    "default_rules",
+    "grad_coverage_inventory",
+    "load_baseline",
+    "load_config",
+    "make_rules",
+    "parse_file",
+    "write_baseline",
+]

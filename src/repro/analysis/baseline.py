@@ -1,0 +1,47 @@
+"""Baseline files: accept today's findings, fail only on new ones.
+
+A baseline is a JSON document mapping finding fingerprints (see
+:meth:`repro.analysis.findings.Finding.fingerprint`) to occurrence counts.
+``analyze`` forgives up to that many matching findings, so a legacy
+violation can be grandfathered while any *new* instance of the same rule
+still fails the build.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+
+_VERSION = 1
+
+
+def load_baseline(path: Path | str) -> dict[str, int]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    from repro.errors import ConfigError
+
+    file = Path(path)
+    if not file.exists():
+        return {}
+    try:
+        payload = json.loads(file.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"baseline file {file} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "fingerprints" not in payload:
+        raise ConfigError(f"baseline file {file} has no 'fingerprints' table")
+    return {str(k): int(v) for k, v in payload["fingerprints"].items()}
+
+
+def write_baseline(path: Path | str, findings: Iterable[Finding]) -> dict[str, int]:
+    """Persist the given findings as the new baseline; returns the table."""
+    table = Counter(f.fingerprint() for f in findings)
+    payload = {
+        "version": _VERSION,
+        "comment": "accepted iamlint findings; regenerate with --write-baseline",
+        "fingerprints": dict(sorted(table.items())),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return dict(table)

@@ -1,0 +1,97 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro-lint``.
+
+Exit codes: 0 clean, 1 findings at failing severity (errors, plus warnings
+under ``--strict``), 2 usage or configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.config import load_config
+from repro.analysis.engine import analyze
+from repro.analysis.reporters import REPORTERS
+from repro.analysis.rules import RULES, make_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="iamlint: IAM-aware static analysis for the repro codebase",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files/directories to analyze")
+    parser.add_argument("--format", choices=sorted(REPORTERS), default="text")
+    parser.add_argument("--rules", help="comma-separated rule ids to enable (default: all)")
+    parser.add_argument("--disable", help="comma-separated rule ids to disable")
+    parser.add_argument("--baseline", help="baseline JSON path (overrides pyproject)")
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--strict", action="store_true", help="treat warnings as failures"
+    )
+    parser.add_argument(
+        "--config", help="explicit pyproject.toml to read [tool.repro.analysis] from"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    return parser
+
+
+def _csv(value: str | None) -> list[str] | None:
+    if value is None:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    from repro.errors import ConfigError
+
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, cls in sorted(RULES.items()):
+            print(f"{rule_id:22s} {cls.severity.value:8s} {cls.description}")
+        return 0
+
+    try:
+        config = load_config(args.config)
+        enable = _csv(args.rules) if args.rules else config.enable
+        disable = _csv(args.disable) or config.disable
+        rules = make_rules(enable, disable)
+
+        baseline_path = args.baseline or config.baseline
+        baseline = load_baseline(baseline_path) if baseline_path else {}
+
+        if args.write_baseline:
+            if not baseline_path:
+                raise ConfigError(
+                    "--write-baseline needs --baseline or a [tool.repro.analysis] "
+                    "baseline entry"
+                )
+            report = analyze(args.paths, rules=rules, exclude=config.exclude)
+            table = write_baseline(baseline_path, report.findings)
+            print(f"wrote {sum(table.values())} finding(s) to {baseline_path}")
+            return 0
+
+        report = analyze(args.paths, rules=rules, exclude=config.exclude, baseline=baseline)
+    except ConfigError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    print(REPORTERS[args.format](report))
+    return report.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

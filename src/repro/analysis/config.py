@@ -1,0 +1,64 @@
+"""Configuration for the analyzer, read from ``[tool.repro.analysis]``.
+
+Recognised keys (all optional)::
+
+    [tool.repro.analysis]
+    enable   = ["global-rng", ...]   # default: every registered rule
+    disable  = ["hot-loop"]
+    baseline = ".repro-analysis-baseline.json"
+    exclude  = ["bench/fixtures/*"]  # fnmatch patterns on root-relative paths
+
+CLI flags override the file; the file overrides the built-in defaults.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class AnalysisConfig:
+    enable: list[str] | None = None  # None == all registered rules
+    disable: list[str] = field(default_factory=list)
+    baseline: str | None = None
+    exclude: list[str] = field(default_factory=list)
+
+
+def find_pyproject(start: Path | None = None) -> Path | None:
+    """Walk up from ``start`` (default cwd) to the nearest pyproject.toml."""
+    current = (start or Path.cwd()).resolve()
+    for directory in (current, *current.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_config(pyproject: Path | str | None = None) -> AnalysisConfig:
+    """Load ``[tool.repro.analysis]``; missing file/table yields defaults."""
+    from repro.errors import ConfigError
+
+    path = Path(pyproject) if pyproject is not None else find_pyproject()
+    if path is None or not path.is_file():
+        return AnalysisConfig()
+    try:
+        with path.open("rb") as handle:
+            document = tomllib.load(handle)
+    except tomllib.TOMLDecodeError as exc:
+        raise ConfigError(f"{path} is not valid TOML: {exc}") from exc
+    table = document.get("tool", {}).get("repro", {}).get("analysis", {})
+    if not isinstance(table, dict):
+        raise ConfigError(f"[tool.repro.analysis] in {path} must be a table")
+    config = AnalysisConfig(
+        enable=list(table["enable"]) if "enable" in table else None,
+        disable=[str(r) for r in table.get("disable", [])],
+        baseline=str(table["baseline"]) if table.get("baseline") else None,
+        exclude=[str(p) for p in table.get("exclude", [])],
+    )
+    if config.baseline is not None:
+        # Baselines are repo-relative: anchor next to the pyproject so the
+        # CLI behaves identically from any working directory.
+        config.baseline = str((path.parent / config.baseline))
+    return config

@@ -1,0 +1,219 @@
+"""The iamlint analysis engine.
+
+Responsibilities:
+
+- collect ``.py`` files under the requested paths (honouring excludes),
+- parse each file once into an AST plus a per-line ``# repro: noqa`` map,
+- drive :class:`~repro.analysis.rules.FileRule` visitors through a single
+  dispatch walk per file and :class:`~repro.analysis.rules.ProjectRule`
+  checks over the whole parsed set,
+- apply suppressions and the baseline, and
+- summarise the outcome for the reporters / exit-code policy.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding, Severity
+
+# ``# repro: noqa`` suppresses every rule on that line;
+# ``# repro: noqa[rule-a,rule-b]`` suppresses only the named rules.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[a-z0-9_,\-\s]+)\])?", re.IGNORECASE)
+
+_SUPPRESS_ALL = "*"
+
+
+@dataclass
+class ParsedFile:
+    """One source file, parsed once and shared by every rule."""
+
+    path: Path
+    rel: str  # posix-style path relative to the analysis root
+    tree: ast.Module
+    lines: list[str]
+    noqa: dict[int, set[str]] = field(default_factory=dict)
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return tuple(self.rel.split("/"))
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        ids = self.noqa.get(line)
+        if not ids:
+            return False
+        return _SUPPRESS_ALL in ids or rule in ids
+
+
+def _scan_noqa(lines: Sequence[str]) -> dict[int, set[str]]:
+    table: dict[int, set[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "noqa" not in text:
+            continue
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        named = match.group("rules")
+        if named is None:
+            table[lineno] = {_SUPPRESS_ALL}
+        else:
+            table[lineno] = {part.strip() for part in named.split(",") if part.strip()}
+    return table
+
+
+def collect_files(paths: Sequence[Path], exclude: Sequence[str] = ()) -> list[tuple[Path, str]]:
+    """Expand ``paths`` into (absolute path, root-relative posix path) pairs.
+
+    Directories are walked recursively; ``exclude`` holds fnmatch-style
+    patterns applied to the relative path (``__pycache__`` is always
+    skipped).
+    """
+    out: list[tuple[Path, str]] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if not root.exists():
+            # A typo'd path in CI must fail loudly, not pass with 0 files.
+            raise FileNotFoundError(f"analysis path does not exist: {root}")
+        if root.is_file():
+            candidates = [(root, root.name)]
+        else:
+            candidates = sorted(
+                (p, p.relative_to(root).as_posix())
+                for p in root.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        for path, rel in candidates:
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            if any(fnmatch.fnmatch(rel, pattern) for pattern in exclude):
+                continue
+            seen.add(resolved)
+            out.append((path, rel))
+    return out
+
+
+def parse_file(path: Path, rel: str) -> ParsedFile:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+    return ParsedFile(path=path, rel=rel, tree=tree, lines=lines, noqa=_scan_noqa(lines))
+
+
+@dataclass
+class Report:
+    """Everything a reporter or the CLI needs to render / decide on."""
+
+    findings: list[Finding]
+    suppressed: int
+    baselined: int
+    files_analyzed: int
+    parse_errors: list[Finding]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.parse_errors or self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+
+def analyze(
+    paths: Sequence[Path | str],
+    rules: Iterable["object"] | None = None,
+    exclude: Sequence[str] = (),
+    baseline: dict[str, int] | None = None,
+) -> Report:
+    """Run the rule set over ``paths`` and return a :class:`Report`.
+
+    ``rules`` defaults to every registered rule (see
+    :func:`repro.analysis.rules.default_rules`).  ``baseline`` maps
+    finding fingerprints to the number of occurrences to forgive.
+    """
+    from repro.analysis.rules import FileRule, ProjectRule, default_rules
+
+    active = list(rules) if rules is not None else default_rules()
+    file_rules = [r for r in active if isinstance(r, FileRule)]
+    project_rules = [r for r in active if isinstance(r, ProjectRule)]
+
+    parsed: list[ParsedFile] = []
+    parse_errors: list[Finding] = []
+    for path, rel in collect_files([Path(p) for p in paths], exclude=exclude):
+        try:
+            parsed.append(parse_file(path, rel))
+        except SyntaxError as exc:
+            parse_errors.append(
+                Finding(
+                    rule="parse-error",
+                    severity=Severity.ERROR,
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+
+    raw: list[Finding] = []
+    for pf in parsed:
+        applicable = [r for r in file_rules if r.applies_to(pf)]
+        if not applicable:
+            continue
+        for rule in applicable:
+            rule.start_file(pf)
+        # One walk per file; each rule filters by node type itself so new
+        # rules do not require engine changes.
+        for node in ast.walk(pf.tree):
+            for rule in applicable:
+                if isinstance(node, rule.node_types):
+                    raw.extend(rule.visit(node, pf))
+        for rule in applicable:
+            raw.extend(rule.finish_file(pf))
+
+    by_rel = {pf.rel: pf for pf in parsed}
+    for rule in project_rules:
+        raw.extend(rule.check_project(parsed))
+
+    suppressed = 0
+    survivors: list[Finding] = []
+    for finding in raw:
+        pf = by_rel.get(finding.path)
+        if pf is not None and pf.is_suppressed(finding.rule, finding.line):
+            suppressed += 1
+        else:
+            survivors.append(finding)
+
+    baselined = 0
+    if baseline:
+        remaining = dict(baseline)
+        kept: list[Finding] = []
+        for finding in survivors:
+            key = finding.fingerprint()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined += 1
+            else:
+                kept.append(finding)
+        survivors = kept
+
+    survivors.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return Report(
+        findings=survivors,
+        suppressed=suppressed,
+        baselined=baselined,
+        files_analyzed=len(parsed),
+        parse_errors=parse_errors,
+    )

@@ -1,0 +1,61 @@
+"""Finding and severity types shared by the iamlint engine and reporters."""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How seriously a finding is treated by the exit-code policy."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a concrete source location.
+
+    ``path`` is stored relative to the analysis root so findings (and the
+    baseline fingerprints derived from them) are stable across machines.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = field(default=False, compare=False)
+    baselined: bool = field(default=False, compare=False)
+
+    def fingerprint(self) -> str:
+        """Location-insensitive identity used by the baseline file.
+
+        Excludes the line number so that unrelated edits above a baselined
+        finding do not un-baseline it; includes the message so distinct
+        violations on one line stay distinct.
+        """
+        digest = hashlib.sha256(
+            f"{self.path}::{self.rule}::{self.message}".encode()
+        ).hexdigest()
+        return f"{self.path}::{self.rule}::{digest[:12]}"
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.severity.value}[{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }

@@ -1,0 +1,42 @@
+"""Text and JSON renderers for analysis reports."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import Report
+
+
+def render_text(report: Report) -> str:
+    lines = [f.format_text() for f in (*report.parse_errors, *report.findings)]
+    summary = (
+        f"{report.files_analyzed} files analyzed: "
+        f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
+    )
+    extras = []
+    if report.suppressed:
+        extras.append(f"{report.suppressed} suppressed")
+    if report.baselined:
+        extras.append(f"{report.baselined} baselined")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    payload = {
+        "version": 1,
+        "files_analyzed": report.files_analyzed,
+        "findings": [f.to_dict() for f in (*report.parse_errors, *report.findings)],
+        "summary": {
+            "errors": len(report.errors) + len(report.parse_errors),
+            "warnings": len(report.warnings),
+            "suppressed": report.suppressed,
+            "baselined": report.baselined,
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+REPORTERS = {"text": render_text, "json": render_json}

@@ -1,0 +1,704 @@
+"""iamlint's project-specific rules.
+
+Each rule protects an IAM invariant (see ``docs/static_analysis.md`` for
+the full catalog with rationale).  Rules come in two shapes:
+
+- :class:`FileRule` — visited during a single AST walk per file; the rule
+  declares which node types it wants and keeps per-file state between
+  :meth:`FileRule.start_file` and :meth:`FileRule.finish_file`.
+- :class:`ProjectRule` — runs once over every parsed file; used for
+  cross-file contracts (grad coverage, estimator registration).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.engine import ParsedFile, parse_file
+from repro.analysis.findings import Finding, Severity
+
+# ---------------------------------------------------------------------------
+# Rule base classes
+# ---------------------------------------------------------------------------
+
+
+class Rule:
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def make_finding(self, pf: ParsedFile, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=pf.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class FileRule(Rule):
+    node_types: tuple[type[ast.AST], ...] = ()
+
+    def applies_to(self, pf: ParsedFile) -> bool:
+        return True
+
+    def start_file(self, pf: ParsedFile) -> None:
+        pass
+
+    def visit(self, node: ast.AST, pf: ParsedFile) -> Iterable[Finding]:
+        return ()
+
+    def finish_file(self, pf: ParsedFile) -> Iterable[Finding]:
+        return ()
+
+
+class ProjectRule(Rule):
+    def check_project(self, files: Sequence[ParsedFile]) -> Iterable[Finding]:
+        return ()
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """Resolve ``a.b.c`` attribute chains to a dotted string, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# global-rng
+# ---------------------------------------------------------------------------
+
+# Constructing a Generator from an explicit seeded BitGenerator is fine;
+# everything else on numpy.random either touches the hidden global stream
+# or mints unseeded entropy outside the utils/rng.py chokepoint.
+_RNG_ALLOWED_CALLS = {"Generator", "SeedSequence", "PCG64", "Philox", "MT19937", "SFC64"}
+_RNG_HOME = "utils/rng.py"
+
+
+class GlobalRNGRule(FileRule):
+    """Every random draw must flow through ``repro.utils.rng``.
+
+    IAM's progressive-sampling estimates (Theorem 5.1) and SGD training are
+    only reproducible when all entropy descends from the caller's seed; a
+    single ``np.random.*`` call on a hot path silently breaks that.
+    """
+
+    id = "global-rng"
+    severity = Severity.ERROR
+    description = "numpy.random.* called outside repro/utils/rng.py"
+    node_types = (ast.Import, ast.ImportFrom, ast.Call)
+
+    def applies_to(self, pf: ParsedFile) -> bool:
+        return not pf.rel.endswith(_RNG_HOME)
+
+    def start_file(self, pf: ParsedFile) -> None:
+        self._numpy_aliases: set[str] = set()
+        self._random_module_aliases: set[str] = set()
+        self._imported_fns: set[str] = set()
+
+    def visit(self, node: ast.AST, pf: ParsedFile) -> Iterable[Finding]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    self._numpy_aliases.add(alias.asname or "numpy")
+                elif alias.name == "numpy.random":
+                    self._random_module_aliases.add(alias.asname or "numpy")
+            return ()
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        self._random_module_aliases.add(alias.asname or "random")
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in _RNG_ALLOWED_CALLS:
+                        self._imported_fns.add(alias.asname or alias.name)
+            return ()
+
+        fn_name = self._resolve_rng_call(node.func)
+        if fn_name is not None and fn_name not in _RNG_ALLOWED_CALLS:
+            yield self.make_finding(
+                pf,
+                node,
+                f"numpy.random.{fn_name}() draws RNG state outside {_RNG_HOME}; "
+                "take a seed/Generator argument and route it through "
+                "repro.utils.rng.ensure_rng or spawn_rngs",
+            )
+
+    def _resolve_rng_call(self, func: ast.AST) -> str | None:
+        if isinstance(func, ast.Name):
+            return func.id if func.id in self._imported_fns else None
+        dotted = _dotted_name(func)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        if len(parts) >= 3 and parts[0] in self._numpy_aliases and parts[1] == "random":
+            return parts[2]
+        if len(parts) >= 2 and parts[0] in self._random_module_aliases:
+            return parts[1]
+        return None
+
+
+# ---------------------------------------------------------------------------
+# grad-coverage
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OpInfo:
+    """Static facts about one forward op / Tensor method."""
+
+    qualname: str  # "ops.relu" or "Tensor.__add__"
+    line: int
+    rel: str
+    has_backward_def: bool = False
+    make_calls: list[ast.Call] = field(default_factory=list)
+    backward_names: set[str] = field(default_factory=set)  # nested def names
+
+    @property
+    def registers_backward(self) -> bool:
+        return any(self._make_backward_arg(c) in self.backward_names for c in self.make_calls)
+
+    @staticmethod
+    def _make_backward_arg(call: ast.Call) -> str | None:
+        arg: ast.AST | None = None
+        if len(call.args) >= 3:
+            arg = call.args[2]
+        else:
+            for kw in call.keywords:
+                if kw.arg == "backward":
+                    arg = kw.value
+        return arg.id if isinstance(arg, ast.Name) else None
+
+
+def _collect_op_info(fn: ast.FunctionDef, qualname: str, rel: str) -> OpInfo:
+    info = OpInfo(qualname=qualname, line=fn.lineno, rel=rel)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.FunctionDef) and node is not fn:
+            info.backward_names.add(node.name)
+            if node.name == "backward":
+                info.has_backward_def = True
+        elif isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            if dotted is not None and dotted.endswith("._make"):
+                info.make_calls.append(node)
+    return info
+
+
+def _iter_op_functions(pf: ParsedFile) -> Iterable[OpInfo]:
+    """Public module-level functions of an ``ops.py`` module."""
+    for stmt in pf.tree.body:
+        if isinstance(stmt, ast.FunctionDef) and not stmt.name.startswith("_"):
+            yield _collect_op_info(stmt, f"ops.{stmt.name}", pf.rel)
+
+
+def _iter_tensor_methods(pf: ParsedFile) -> Iterable[OpInfo]:
+    """Methods of the ``Tensor`` class (delegating methods included)."""
+    for stmt in pf.tree.body:
+        if isinstance(stmt, ast.ClassDef) and stmt.name == "Tensor":
+            for item in stmt.body:
+                if isinstance(item, ast.FunctionDef):
+                    yield _collect_op_info(item, f"Tensor.{item.name}", pf.rel)
+
+
+def grad_coverage_inventory(autodiff_dir: Path | str) -> list[str]:
+    """The op set the grad-coverage rule considers differentiable.
+
+    This is the single source of truth shared with the finite-difference
+    sweep in ``tests/test_autodiff_ops.py``: an op is *in* the inventory
+    exactly when its forward statically registers a backward closure via
+    ``Tensor._make``.
+    """
+    root = Path(autodiff_dir)
+    names: list[str] = []
+    ops_pf = parse_file(root / "ops.py", "autodiff/ops.py")
+    for info in _iter_op_functions(ops_pf):
+        if info.registers_backward:
+            names.append(info.qualname)
+    tensor_pf = parse_file(root / "tensor.py", "autodiff/tensor.py")
+    for info in _iter_tensor_methods(tensor_pf):
+        if info.registers_backward:
+            names.append(info.qualname)
+    return sorted(names)
+
+
+class GradCoverageRule(ProjectRule):
+    """Every forward op must register a backward closure via Tensor._make.
+
+    An op that computes its forward value but never records a backward
+    breaks the chain rule silently: training proceeds, loss decreases on
+    other parameters, and the GMM+ResMADE joint objective (Eq. 6) is
+    quietly wrong.
+    """
+
+    id = "grad-coverage"
+    severity = Severity.ERROR
+    description = "forward op misses or fails to register a backward closure"
+
+    def check_project(self, files: Sequence[ParsedFile]) -> Iterable[Finding]:
+        for pf in files:
+            if "autodiff" not in pf.parts:
+                continue
+            if pf.rel.endswith("ops.py"):
+                for info in _iter_op_functions(pf):
+                    yield from self._check(pf, info, require_make=True)
+            elif pf.rel.endswith("tensor.py"):
+                for info in _iter_tensor_methods(pf):
+                    yield from self._check(pf, info, require_make=False)
+
+    def _check(self, pf: ParsedFile, info: OpInfo, require_make: bool) -> Iterable[Finding]:
+        anchor = ast.Module(body=[], type_ignores=[])
+        anchor.lineno, anchor.col_offset = info.line, 0  # type: ignore[attr-defined]
+        if info.make_calls:
+            for call in info.make_calls:
+                arg = OpInfo._make_backward_arg(call)
+                if arg is None:
+                    yield self.make_finding(
+                        pf, call,
+                        f"{info.qualname}: Tensor._make called without a backward "
+                        "closure (third argument / backward=)",
+                    )
+                elif arg not in info.backward_names:
+                    yield self.make_finding(
+                        pf, call,
+                        f"{info.qualname}: backward argument {arg!r} is not a "
+                        "closure defined inside the op",
+                    )
+        elif info.has_backward_def:
+            yield self.make_finding(
+                pf, anchor,
+                f"{info.qualname}: defines a backward closure but never registers "
+                "it via Tensor._make — gradients will silently not flow",
+            )
+        elif require_make:
+            yield self.make_finding(
+                pf, anchor,
+                f"{info.qualname}: forward op does not register a backward closure "
+                "via Tensor._make; if it intentionally delegates to other ops, "
+                "suppress with `# repro: noqa[grad-coverage]`",
+            )
+
+
+# ---------------------------------------------------------------------------
+# estimator-contract
+# ---------------------------------------------------------------------------
+
+_ESTIMATOR_ROOT = "Estimator"
+_REQUIRED_METHODS = ("fit", "estimate", "size_bytes")
+_REQUIRED_ATTRS = ("name",)
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    bases: list[str]
+    methods: set[str]
+    attrs: set[str]
+    rel: str
+    line: int
+    col: int
+
+
+class EstimatorContractRule(ProjectRule):
+    """Estimator subclasses must fill the abstract surface and be registered.
+
+    The bench drivers and the optimizer build estimators exclusively
+    through ``estimators/registry.py``; a subclass that drifts from the
+    base contract or is never registered is dead weight that the paper
+    tables silently omit.
+    """
+
+    id = "estimator-contract"
+    severity = Severity.ERROR
+    description = "BaseEstimator subclass breaks the fit/estimate/registry contract"
+
+    def check_project(self, files: Sequence[ParsedFile]) -> Iterable[Finding]:
+        classes: dict[str, _ClassInfo] = {}
+        registered: set[str] | None = None
+        by_rel: dict[str, ParsedFile] = {}
+        for pf in files:
+            if "estimators" not in pf.parts:
+                continue
+            by_rel[pf.rel] = pf
+            for stmt in pf.tree.body:
+                if isinstance(stmt, ast.ClassDef):
+                    classes[stmt.name] = self._class_info(stmt, pf.rel)
+            if pf.rel.endswith("registry.py"):
+                registered = self._registered_names(pf.tree)
+
+        for info in classes.values():
+            if info.name.startswith("_") or info.name == _ESTIMATOR_ROOT:
+                continue
+            chain = self._chain_to_root(info, classes)
+            if chain is None:
+                continue  # not an Estimator descendant
+            pf = by_rel[info.rel]
+            provided_methods = set().union(*(c.methods for c in chain))
+            provided_attrs = set().union(*(c.attrs for c in chain))
+            for method in _REQUIRED_METHODS:
+                if method not in provided_methods:
+                    yield self.make_finding(
+                        pf, _anchor(info),
+                        f"estimator {info.name} does not implement {method}() "
+                        "(inherited abstract stub raises NotImplementedError)",
+                    )
+            for attr in _REQUIRED_ATTRS:
+                if attr not in provided_attrs and attr not in provided_methods:
+                    yield self.make_finding(
+                        pf, _anchor(info),
+                        f"estimator {info.name} does not set the {attr!r} class attribute",
+                    )
+            if registered is not None and info.name not in registered:
+                yield self.make_finding(
+                    pf, _anchor(info),
+                    f"estimator {info.name} is not registered in "
+                    "estimators/registry.py ESTIMATORS",
+                )
+
+    @staticmethod
+    def _class_info(stmt: ast.ClassDef, rel: str) -> _ClassInfo:
+        bases = [b for b in (_dotted_name(base) for base in stmt.bases) if b]
+        methods: set[str] = set()
+        attrs: set[str] = set()
+        for item in stmt.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.add(item.name)
+            elif isinstance(item, ast.Assign):
+                for target in item.targets:
+                    if isinstance(target, ast.Name):
+                        attrs.add(target.id)
+            elif isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                attrs.add(item.target.id)
+        return _ClassInfo(stmt.name, bases, methods, attrs, rel, stmt.lineno, stmt.col_offset)
+
+    @staticmethod
+    def _chain_to_root(
+        info: _ClassInfo, classes: dict[str, _ClassInfo]
+    ) -> list[_ClassInfo] | None:
+        """MRO-ish chain from ``info`` up to (excluding) Estimator, else None."""
+        chain: list[_ClassInfo] = []
+        seen: set[str] = set()
+        frontier = [info]
+        reaches_root = False
+        while frontier:
+            current = frontier.pop()
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            chain.append(current)
+            for base in current.bases:
+                base_name = base.split(".")[-1]
+                if base_name == _ESTIMATOR_ROOT:
+                    reaches_root = True
+                elif base_name in classes:
+                    frontier.append(classes[base_name])
+        return chain if reaches_root else None
+
+    @staticmethod
+    def _registered_names(tree: ast.Module) -> set[str]:
+        names: set[str] = set()
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+            else:
+                continue
+            if any(isinstance(t, ast.Name) and t.id == "ESTIMATORS" for t in targets):
+                for node in ast.walk(stmt.value):
+                    if isinstance(node, ast.Name):
+                        names.add(node.id)
+        return names
+
+
+def _anchor(info: _ClassInfo) -> ast.AST:
+    node = ast.Pass()
+    node.lineno, node.col_offset = info.line, info.col
+    return node
+
+
+# ---------------------------------------------------------------------------
+# dtype-drift
+# ---------------------------------------------------------------------------
+
+
+class DtypeDriftRule(FileRule):
+    """A single autodiff/nn module must not mix float32 and float64 literals.
+
+    The autodiff substrate is float64 end to end; a stray float32 cast
+    inside an op makes finite-difference checks fail at loose tolerances
+    only, and silently costs precision in the log-space reductions.
+    """
+
+    id = "dtype-drift"
+    severity = Severity.ERROR
+    description = "float32/float64 literals mixed within one autodiff/nn module"
+    node_types = (ast.Attribute, ast.Call)
+
+    def applies_to(self, pf: ParsedFile) -> bool:
+        return bool({"autodiff", "nn"} & set(pf.parts))
+
+    def start_file(self, pf: ParsedFile) -> None:
+        self._seen: dict[str, ast.AST] = {}
+
+    def visit(self, node: ast.AST, pf: ParsedFile) -> Iterable[Finding]:
+        if isinstance(node, ast.Attribute):
+            if node.attr in ("float32", "float64"):
+                self._seen.setdefault(node.attr, node)
+        else:
+            for kw in node.keywords:
+                if (
+                    kw.arg == "dtype"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value in ("float32", "float64")
+                ):
+                    self._seen.setdefault(kw.value.value, kw.value)
+        return ()
+
+    def finish_file(self, pf: ParsedFile) -> Iterable[Finding]:
+        if len(self._seen) == 2:
+            # Anchor on the later of the two first occurrences: that is the
+            # literal that introduced the drift.
+            node = max(self._seen.values(), key=lambda n: n.lineno)
+            yield self.make_finding(
+                pf, node,
+                "module mixes float32 and float64 literals; pick one dtype "
+                "(the autodiff substrate is float64)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# mutable-default-arg
+# ---------------------------------------------------------------------------
+
+
+class MutableDefaultArgRule(FileRule):
+    """Classic Python trap; flagged tree-wide."""
+
+    id = "mutable-default-arg"
+    severity = Severity.ERROR
+    description = "function default argument is a mutable literal"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    _MUTABLE_CALLS = {"list", "dict", "set"}
+
+    def visit(self, node: ast.AST, pf: ParsedFile) -> Iterable[Finding]:
+        args = node.args
+        for default in (*args.defaults, *(d for d in args.kw_defaults if d is not None)):
+            if self._is_mutable(default):
+                name = getattr(node, "name", "<lambda>")
+                yield self.make_finding(
+                    pf, default,
+                    f"{name}: mutable default argument is shared across calls; "
+                    "default to None and allocate inside the body",
+                )
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._MUTABLE_CALLS
+        )
+
+
+# ---------------------------------------------------------------------------
+# bare-except
+# ---------------------------------------------------------------------------
+
+
+class BareExceptRule(FileRule):
+    """``except:`` swallows KeyboardInterrupt and hides broken invariants."""
+
+    id = "bare-except"
+    severity = Severity.ERROR
+    description = "bare except clause"
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.AST, pf: ParsedFile) -> Iterable[Finding]:
+        if node.type is None:
+            yield self.make_finding(
+                pf, node,
+                "bare except hides real failures; catch a repro.errors type "
+                "(or at minimum Exception)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# hot-loop
+# ---------------------------------------------------------------------------
+
+
+class HotLoopRule(FileRule):
+    """Python loops over ndarray indices in numeric packages are perf bugs
+    in waiting; flagged as vectorization candidates (warning only)."""
+
+    id = "hot-loop"
+    severity = Severity.WARNING
+    description = "for-loop over range(len(...)) in a numeric module"
+    node_types = (ast.For,)
+
+    _SCOPE = {"autodiff", "nn", "ar", "mixtures"}
+
+    def applies_to(self, pf: ParsedFile) -> bool:
+        return bool(self._SCOPE & set(pf.parts))
+
+    def visit(self, node: ast.AST, pf: ParsedFile) -> Iterable[Finding]:
+        it = node.iter
+        if (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id == "range"
+            and len(it.args) == 1
+            and isinstance(it.args[0], ast.Call)
+            and isinstance(it.args[0].func, ast.Name)
+            and it.args[0].func.id == "len"
+        ):
+            yield self.make_finding(
+                pf, node,
+                "for-loop over range(len(...)) in a numeric module; consider "
+                "vectorizing with numpy (enumerate/zip if the loop must stay)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# shadowed-export
+# ---------------------------------------------------------------------------
+
+
+class ShadowedExportRule(FileRule):
+    """Every ``__all__`` entry must resolve to a module-level name."""
+
+    id = "shadowed-export"
+    severity = Severity.ERROR
+    description = "__all__ entry does not resolve to a module-level name"
+    node_types = ()
+
+    def finish_file(self, pf: ParsedFile) -> Iterable[Finding]:
+        exports: list[tuple[str, ast.AST]] = []
+        star_dicts: dict[str, list[str]] = {}
+        defined: set[str] = set()
+        has_star_import = False
+
+        def scan(body: Sequence[ast.stmt]) -> None:
+            nonlocal has_star_import
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    defined.add(stmt.name)
+                elif isinstance(stmt, ast.Import):
+                    for alias in stmt.names:
+                        defined.add(alias.asname or alias.name.split(".")[0])
+                elif isinstance(stmt, ast.ImportFrom):
+                    for alias in stmt.names:
+                        if alias.name == "*":
+                            has_star_import = True
+                        else:
+                            defined.add(alias.asname or alias.name)
+                elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                    targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                    for target in targets:
+                        for name_node in ast.walk(target):
+                            if isinstance(name_node, ast.Name):
+                                defined.add(name_node.id)
+                    value = getattr(stmt, "value", None)
+                    if isinstance(stmt, ast.Assign) and value is not None:
+                        self._record_literal_keys(stmt, value, star_dicts)
+                elif isinstance(stmt, (ast.If, ast.Try, ast.With)):
+                    scan(stmt.body)
+                    scan(getattr(stmt, "orelse", []))
+                    for handler in getattr(stmt, "handlers", []):
+                        scan(handler.body)
+                    scan(getattr(stmt, "finalbody", []))
+
+        scan(pf.tree.body)
+        if has_star_import:
+            return  # cannot resolve; stay quiet rather than guess
+        if "__getattr__" in defined:
+            # PEP 562 lazy modules: names keyed in module-level literal
+            # tables are served by __getattr__, so they resolve.
+            for keys in star_dicts.values():
+                defined.update(keys)
+
+        for stmt in pf.tree.body:
+            if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in stmt.targets
+            ):
+                if isinstance(stmt.value, (ast.List, ast.Tuple)):
+                    for element in stmt.value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                            exports.append((element.value, element))
+                        elif isinstance(element, ast.Starred) and isinstance(
+                            element.value, ast.Name
+                        ):
+                            for key in star_dicts.get(element.value.id, []):
+                                exports.append((key, element))
+                        # other dynamic elements: unresolvable, skip
+
+        for name, node in exports:
+            if name not in defined:
+                yield self.make_finding(
+                    pf, node,
+                    f"__all__ exports {name!r} but no module-level definition, "
+                    "import, or lazy-export table provides it",
+                )
+
+    @staticmethod
+    def _record_literal_keys(
+        stmt: ast.Assign, value: ast.AST, star_dicts: dict[str, list[str]]
+    ) -> None:
+        """Remember string keys/elements of module-level literal containers so
+        ``__all__ = [..., *_LAZY_EXPORTS]`` resolves."""
+        keys: list[str] = []
+        if isinstance(value, ast.Dict):
+            keys = [k.value for k in value.keys if isinstance(k, ast.Constant)]
+        elif isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+            keys = [e.value for e in value.elts if isinstance(e, ast.Constant)]
+        if keys:
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    star_dicts[target.id] = [k for k in keys if isinstance(k, str)]
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+RULES: dict[str, type[Rule]] = {
+    rule.id: rule
+    for rule in (
+        GlobalRNGRule,
+        GradCoverageRule,
+        EstimatorContractRule,
+        DtypeDriftRule,
+        MutableDefaultArgRule,
+        BareExceptRule,
+        HotLoopRule,
+        ShadowedExportRule,
+    )
+}
+
+
+def default_rules() -> list[Rule]:
+    return [cls() for cls in RULES.values()]
+
+
+def make_rules(enable: Sequence[str] | None = None, disable: Sequence[str] = ()) -> list[Rule]:
+    """Instantiate the configured rule set, validating rule ids."""
+    from repro.errors import ConfigError
+
+    chosen = list(RULES) if not enable else list(enable)
+    unknown = [r for r in (*chosen, *disable) if r not in RULES]
+    if unknown:
+        raise ConfigError(f"unknown analysis rule(s) {unknown}; available: {sorted(RULES)}")
+    return [RULES[r]() for r in chosen if r not in set(disable)]

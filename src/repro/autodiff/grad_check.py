@@ -2,10 +2,19 @@
 
 Used heavily by the test suite: any differentiable scalar function built
 from autodiff ops can be checked against central differences.
+
+The module also hosts :data:`OP_GRAD_CASES`, one finite-difference sweep
+case per registered autodiff op.  The case keys use the same qualified
+names (``ops.relu``, ``Tensor.__add__``) as the static ``grad-coverage``
+rule's inventory (:func:`repro.analysis.grad_coverage_inventory`), and
+``tests/test_autodiff_ops.py`` asserts the two enumerate the same op set —
+so adding an op without extending both the backward rule and the numeric
+check fails loudly.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
@@ -66,3 +75,134 @@ def gradient_check(
                 f"autodiff:\n{actual}\nnumeric:\n{expected}"
             )
     return True
+
+
+# ---------------------------------------------------------------------------
+# Per-op finite-difference sweep
+# ---------------------------------------------------------------------------
+#
+# All case inputs are deterministic arange-derived grids: entries are
+# pairwise distinct (no max/maximum ties), bounded away from the relu/abs
+# kink at 0, and strictly positive where log/pow/div require it, so central
+# differences are well-conditioned without any RNG.
+
+
+def _grid(*shape: int, lo: float = -2.1, step: float = 0.37) -> np.ndarray:
+    n = int(np.prod(shape))
+    return (np.arange(n, dtype=np.float64) * step + lo).reshape(shape)
+
+
+def _positive(*shape: int) -> np.ndarray:
+    n = int(np.prod(shape))
+    return (np.arange(n, dtype=np.float64) * 0.29 + 0.4).reshape(shape)
+
+
+def _scrambled(*shape: int) -> np.ndarray:
+    """Distinct values in non-monotone order (exercises argmax positions)."""
+    flat = _grid(*shape).ravel()
+    signs = np.where(np.arange(flat.size) % 2 == 0, 1.0, -1.0)
+    return (flat * signs).reshape(shape)
+
+
+@dataclass(frozen=True)
+class OpGradCase:
+    """One sweep entry: a scalar-valued composition isolating a single op."""
+
+    name: str
+    fn: Callable[..., Tensor]
+    inputs: tuple[np.ndarray, ...]
+
+
+_W34 = _grid(3, 4, lo=0.3, step=0.11)
+_W43 = _grid(4, 3, lo=0.2, step=0.13)
+_W32 = _grid(3, 2, lo=0.5, step=0.21)
+_W3 = _grid(3, lo=0.7, step=0.31)
+_W12 = _grid(12, lo=0.4, step=0.07)
+_GATHER_IDX = np.array([1, 0, 3])
+_ITEM_IDX = np.array([0, 2, 1, 0])
+_EMBED_IDX = np.array([0, 1, 0, 2])
+_WHERE_COND = (np.arange(12) % 3 == 0).reshape(3, 4)
+
+_CASES = [
+    OpGradCase("Tensor.__add__", lambda a, b: ((a + b) * _W34).sum(), (_grid(3, 4), _grid(4, lo=0.5))),
+    OpGradCase("Tensor.__neg__", lambda a: ((-a) * _W34).sum(), (_grid(3, 4),)),
+    OpGradCase("Tensor.__mul__", lambda a, b: ((a * b) * _W34).sum(), (_grid(3, 4), _grid(4, lo=0.5))),
+    OpGradCase("Tensor.__truediv__", lambda a, b: ((a / b) * _W34).sum(), (_grid(3, 4), _positive(4))),
+    OpGradCase("Tensor.__pow__", lambda a: ((a**1.7) * _W34).sum(), (_positive(3, 4),)),
+    OpGradCase("Tensor.__matmul__", lambda a, b: ((a @ b) * _W32).sum(), (_grid(3, 4), _grid(4, 2))),
+    OpGradCase("Tensor.exp", lambda a: (a.exp() * _W34).sum(), (_grid(3, 4, step=0.17),)),
+    OpGradCase("Tensor.log", lambda a: (a.log() * _W34).sum(), (_positive(3, 4),)),
+    OpGradCase("Tensor.abs", lambda a: (a.abs() * _W34).sum(), (_scrambled(3, 4),)),
+    OpGradCase("Tensor.sum", lambda a: (a.sum(axis=1) * _W3).sum(), (_grid(3, 4),)),
+    OpGradCase("Tensor.max", lambda a: (a.max(axis=1) * _W3).sum(), (_scrambled(3, 4),)),
+    OpGradCase("Tensor.reshape", lambda a: (a.reshape(12) * _W12).sum(), (_grid(3, 4),)),
+    OpGradCase("Tensor.transpose", lambda a: (a.transpose(1, 0) * _W43).sum(), (_grid(3, 4),)),
+    OpGradCase("Tensor.__getitem__", lambda a: (a[_ITEM_IDX] * _grid(4, 4, lo=0.2, step=0.09)).sum(), (_grid(3, 4),)),
+]
+
+
+def _ops_cases() -> list[OpGradCase]:
+    from repro.autodiff import ops
+
+    return [
+        OpGradCase("ops.relu", lambda a: (ops.relu(a) * _W34).sum(), (_scrambled(3, 4),)),
+        OpGradCase("ops.sigmoid", lambda a: (ops.sigmoid(a) * _W34).sum(), (_grid(3, 4),)),
+        OpGradCase("ops.tanh", lambda a: (ops.tanh(a) * _W34).sum(), (_grid(3, 4),)),
+        OpGradCase(
+            "ops.maximum",
+            lambda a, b: (ops.maximum(a, b) * _W34).sum(),
+            (_scrambled(3, 4), _scrambled(3, 4) + 0.21),
+        ),
+        OpGradCase(
+            "ops.where",
+            lambda a, b: (ops.where(_WHERE_COND, a, b) * _W34).sum(),
+            (_grid(3, 4), _grid(3, 4, lo=1.1)),
+        ),
+        OpGradCase(
+            "ops.logsumexp",
+            lambda a: (ops.logsumexp(a, axis=1) * _W3).sum(),
+            (_grid(3, 4, step=0.23),),
+        ),
+        OpGradCase(
+            "ops.log_softmax",
+            lambda a: (ops.log_softmax(a, axis=-1) * _W34).sum(),
+            (_grid(3, 4),),
+        ),
+        OpGradCase(
+            "ops.softmax",
+            lambda a: (ops.softmax(a, axis=-1) * _W34).sum(),
+            (_grid(3, 4),),
+        ),
+        OpGradCase(
+            "ops.gather",
+            lambda a: (ops.gather(a, _GATHER_IDX, axis=1) * _W3.reshape(3, 1)).sum(),
+            (_grid(3, 4),),
+        ),
+        OpGradCase(
+            "ops.embedding",
+            lambda w: (ops.embedding(w, _EMBED_IDX) * _W43).sum(),
+            (_grid(4, 3),),
+        ),
+        OpGradCase(
+            "ops.concat",
+            lambda a, b: (ops.concat([a, b], axis=1) * _grid(2, 5, lo=0.3, step=0.19)).sum(),
+            (_grid(2, 2), _grid(2, 3, lo=1.0)),
+        ),
+        OpGradCase(
+            "ops.stack",
+            lambda a, b: (ops.stack([a, b], axis=0) * _grid(2, 3, lo=0.6, step=0.27)).sum(),
+            (_grid(3), _grid(3, lo=0.9)),
+        ),
+    ]
+
+
+def op_grad_cases() -> dict[str, OpGradCase]:
+    """All sweep cases keyed by the grad-coverage inventory name."""
+    cases = [*_CASES, *_ops_cases()]
+    return {case.name: case for case in cases}
+
+
+def run_op_case(name: str, rtol: float = 1e-4, atol: float = 1e-6) -> bool:
+    """Finite-difference-check one inventory op; raises on mismatch."""
+    case = op_grad_cases()[name]
+    return gradient_check(case.fn, list(case.inputs), rtol=rtol, atol=atol)

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.errors import ConfigError, NotFittedError
 from repro.trees.regression_tree import RegressionTree
+from repro.utils.rng import ensure_rng
 
 
 class GradientBoostedRegressor:
@@ -31,7 +32,7 @@ class GradientBoostedRegressor:
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
         self.subsample = subsample
-        self._rng = np.random.default_rng(seed)
+        self._rng = ensure_rng(seed)
         self.base_: float | None = None
         self.trees_: list[RegressionTree] = []
         self.train_errors_: list[float] = []

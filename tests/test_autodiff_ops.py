@@ -24,6 +24,7 @@ from repro.autodiff import (
     tanh,
     where,
 )
+from repro.autodiff.grad_check import op_grad_cases, run_op_case
 from repro.errors import ShapeError
 
 RNG = np.random.default_rng(42)
@@ -175,6 +176,30 @@ class TestConcatStack:
         out = stack([Tensor(x) for x in xs], axis=0)
         np.testing.assert_allclose(out.numpy(), np.stack(xs))
         gradient_check(lambda a, b: (stack([a, b]) ** 2).sum(), [xs[0], xs[1]])
+
+
+class TestOpSweep:
+    """Finite-difference-check every op the static grad-coverage rule
+    discovers, and pin the two inventories to each other."""
+
+    def test_sweep_matches_static_inventory(self):
+        from pathlib import Path
+
+        import repro.autodiff.ops as ops_module
+        from repro.analysis import grad_coverage_inventory
+
+        autodiff_dir = Path(ops_module.__file__).parent
+        inventory = grad_coverage_inventory(autodiff_dir)
+        cases = op_grad_cases()
+        assert set(inventory) == set(cases), (
+            "static grad-coverage inventory and the numeric sweep disagree; "
+            f"only-static={sorted(set(inventory) - set(cases))} "
+            f"only-sweep={sorted(set(cases) - set(inventory))}"
+        )
+
+    @pytest.mark.parametrize("name", sorted(op_grad_cases()))
+    def test_op_gradient(self, name):
+        assert run_op_case(name)
 
 
 class TestCompositeGradients:

@@ -1,0 +1,516 @@
+"""iamlint: unit tests for every rule on fixture snippets, the engine's
+suppression/baseline machinery, the CLI, and — crucially — a full run over
+``src/repro`` asserting the real tree is clean."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    RULES,
+    Severity,
+    analyze,
+    grad_coverage_inventory,
+    load_baseline,
+    load_config,
+    make_rules,
+    write_baseline,
+)
+from repro.autodiff import Tensor, gradient_check
+from repro.errors import ConfigError, GradientError
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_ROOT = REPO_ROOT / "src"
+
+
+def write_tree(root: Path, files: dict[str, str]) -> Path:
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+    return root
+
+
+def rule_ids(report) -> list[str]:
+    return [f.rule for f in report.findings]
+
+
+# ---------------------------------------------------------------------------
+# Per-rule fixtures
+# ---------------------------------------------------------------------------
+
+
+class TestGlobalRNGRule:
+    def test_flags_global_draws_and_unseeded_generators(self, tmp_path):
+        write_tree(tmp_path, {
+            "mod.py": """
+                import numpy as np
+                from numpy.random import rand
+
+                def noisy():
+                    np.random.seed(0)
+                    a = np.random.rand(3)
+                    b = np.random.default_rng(1)
+                    return a, b, rand(2)
+            """,
+        })
+        report = analyze([tmp_path], rules=make_rules(["global-rng"]))
+        assert rule_ids(report) == ["global-rng"] * 4
+
+    def test_utils_rng_is_exempt_and_constructors_allowed(self, tmp_path):
+        write_tree(tmp_path, {
+            "utils/rng.py": "import numpy as np\n\nrng = np.random.default_rng(0)\n",
+            "mod.py": "import numpy as np\n\ng = np.random.Generator(np.random.PCG64(1))\n",
+        })
+        report = analyze([tmp_path], rules=make_rules(["global-rng"]))
+        assert report.findings == []
+
+    def test_numpy_alias_tracked(self, tmp_path):
+        write_tree(tmp_path, {
+            "mod.py": "import numpy as xp\n\ndef f():\n    return xp.random.normal(size=3)\n",
+        })
+        report = analyze([tmp_path], rules=make_rules(["global-rng"]))
+        assert rule_ids(report) == ["global-rng"]
+
+
+GRAD_FIXTURE = {
+    "autodiff/tensor.py": """
+        import numpy as np
+
+        class Tensor:
+            @staticmethod
+            def _make(data, parents, backward):
+                return Tensor()
+
+            def exp(self):
+                out = np.exp(getattr(self, "data", 0.0))
+
+                def backward(grad):
+                    pass
+
+                return Tensor._make(out, (self,), backward)
+
+            def detach(self):
+                return self
+    """,
+    "autodiff/ops.py": """
+        import numpy as np
+
+        from repro.autodiff.tensor import Tensor
+
+        def good(x):
+            out = np.exp(x.data)
+
+            def backward(grad):
+                x._accumulate(grad * out)
+
+            return Tensor._make(out, (x,), backward)
+
+        def bad_no_backward(x):
+            return Tensor(np.exp(x.data))
+
+        def bad_unregistered(x):
+            out = np.tanh(x.data)
+
+            def backward(grad):
+                x._accumulate(grad * (1.0 - out * out))
+
+            return Tensor(out)
+    """,
+}
+
+
+class TestGradCoverageRule:
+    def test_fixture_violations_flagged(self, tmp_path):
+        write_tree(tmp_path, GRAD_FIXTURE)
+        report = analyze([tmp_path], rules=make_rules(["grad-coverage"]))
+        messages = {f.message for f in report.findings}
+        assert len(report.findings) == 2
+        assert any("bad_no_backward" in m for m in messages)
+        assert any("bad_unregistered" in m for m in messages)
+
+    def test_inventory_excludes_unregistered_ops(self, tmp_path):
+        write_tree(tmp_path, GRAD_FIXTURE)
+        inventory = grad_coverage_inventory(tmp_path / "autodiff")
+        assert "ops.good" in inventory
+        assert "Tensor.exp" in inventory
+        assert "ops.bad_no_backward" not in inventory
+        assert "ops.bad_unregistered" not in inventory
+
+    def test_numeric_check_catches_the_same_failure(self):
+        """The deliberately-unregistered backward is caught by the numeric
+        sweep machinery too, not just statically (acceptance criterion)."""
+
+        def broken_exp(x: Tensor) -> Tensor:
+            # Forward value is right, but the graph is never recorded —
+            # exactly what the static rule flags in the fixture above.
+            return Tensor(np.exp(x.data))
+
+        with pytest.raises((AssertionError, GradientError)):
+            gradient_check(lambda x: broken_exp(x).sum(), [np.array([0.3, -0.2])])
+
+    def test_real_tree_clean_and_inventory_nonempty(self):
+        inventory = grad_coverage_inventory(SRC_ROOT / "repro" / "autodiff")
+        assert len(inventory) >= 20
+        report = analyze([SRC_ROOT / "repro" / "autodiff"], rules=make_rules(["grad-coverage"]))
+        assert report.findings == []
+
+
+class TestEstimatorContractRule:
+    def test_missing_surface_and_registration(self, tmp_path):
+        write_tree(tmp_path, {
+            "estimators/est.py": """
+                from repro.estimators.base import Estimator
+
+                class Good(Estimator):
+                    name = "good"
+
+                    def fit(self, table, workload=None):
+                        return self
+
+                    def estimate(self, query):
+                        return 0.5
+
+                    def size_bytes(self):
+                        return 0
+
+                class Drifted(Estimator):
+                    def fit(self, table, workload=None):
+                        return self
+
+                    def size_bytes(self):
+                        return 0
+            """,
+            "estimators/registry.py": """
+                from .est import Good
+
+                ESTIMATORS = {"good": Good}
+            """,
+        })
+        report = analyze([tmp_path], rules=make_rules(["estimator-contract"]))
+        drifted = [f for f in report.findings if "Drifted" in f.message]
+        assert len(drifted) == 3  # no estimate(), no name attr, unregistered
+        assert not any("Good" in f.message for f in report.findings)
+
+    def test_subclass_inherits_surface_through_chain(self, tmp_path):
+        write_tree(tmp_path, {
+            "estimators/est.py": """
+                from repro.estimators.base import Estimator
+
+                class Parent(Estimator):
+                    name = "parent"
+
+                    def fit(self, table, workload=None):
+                        return self
+
+                    def estimate(self, query):
+                        return 0.5
+
+                    def size_bytes(self):
+                        return 0
+
+                class Child(Parent):
+                    name = "child"
+            """,
+            "estimators/registry.py": """
+                ESTIMATORS = {"parent": Parent, "child": Child}
+            """,
+        })
+        report = analyze([tmp_path], rules=make_rules(["estimator-contract"]))
+        assert report.findings == []
+
+
+class TestSmallRules:
+    def test_dtype_drift(self, tmp_path):
+        write_tree(tmp_path, {
+            "nn/layer.py": """
+                import numpy as np
+
+                A = np.zeros(3, dtype=np.float64)
+                B = np.zeros(3, dtype=np.float32)
+            """,
+            "nn/pure.py": "import numpy as np\n\nC = np.zeros(3, dtype=np.float64)\n",
+            "query/mixed_elsewhere.py": """
+                import numpy as np
+
+                A = np.zeros(3, dtype=np.float64)
+                B = np.zeros(3, dtype=np.float32)
+            """,
+        })
+        report = analyze([tmp_path], rules=make_rules(["dtype-drift"]))
+        assert rule_ids(report) == ["dtype-drift"]
+        assert report.findings[0].path == "nn/layer.py"
+
+    def test_mutable_default_arg(self, tmp_path):
+        write_tree(tmp_path, {
+            "mod.py": """
+                def f(x, acc=[]):
+                    return acc
+
+                def g(x, *, table=dict()):
+                    return table
+
+                def ok(x, y=None, z=()):
+                    return x
+            """,
+        })
+        report = analyze([tmp_path], rules=make_rules(["mutable-default-arg"]))
+        assert rule_ids(report) == ["mutable-default-arg"] * 2
+
+    def test_bare_except(self, tmp_path):
+        write_tree(tmp_path, {
+            "mod.py": """
+                def f():
+                    try:
+                        return 1
+                    except:
+                        return 2
+
+                def ok():
+                    try:
+                        return 1
+                    except ValueError:
+                        return 2
+            """,
+        })
+        report = analyze([tmp_path], rules=make_rules(["bare-except"]))
+        assert rule_ids(report) == ["bare-except"]
+
+    def test_hot_loop_warns_in_numeric_packages_only(self, tmp_path):
+        loop = """
+            def f(xs):
+                total = 0.0
+                for i in range(len(xs)):
+                    total += xs[i]
+                return total
+        """
+        write_tree(tmp_path, {"ar/mod.py": loop, "query/mod.py": loop})
+        report = analyze([tmp_path], rules=make_rules(["hot-loop"]))
+        assert rule_ids(report) == ["hot-loop"]
+        assert report.findings[0].path == "ar/mod.py"
+        assert report.findings[0].severity is Severity.WARNING
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_shadowed_export(self, tmp_path):
+        write_tree(tmp_path, {
+            "mod.py": """
+                __all__ = ["exists", "missing"]
+
+                def exists():
+                    return 1
+            """,
+            "lazy.py": """
+                _LAZY = {"Thing": ("pkg.mod", "Thing")}
+
+                __all__ = ["helper", *_LAZY]
+
+                def helper():
+                    return 1
+
+                def __getattr__(name):
+                    raise AttributeError(name)
+            """,
+        })
+        report = analyze([tmp_path], rules=make_rules(["shadowed-export"]))
+        assert rule_ids(report) == ["shadowed-export"]
+        assert "missing" in report.findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# Engine machinery: suppressions, baseline, config
+# ---------------------------------------------------------------------------
+
+
+class TestEngineMachinery:
+    def test_noqa_suppression(self, tmp_path):
+        write_tree(tmp_path, {
+            "mod.py": """
+                import numpy as np
+
+                a = np.random.rand(3)  # repro: noqa[global-rng]
+                b = np.random.rand(3)  # repro: noqa
+                c = np.random.rand(3)  # repro: noqa[other-rule]
+                d = np.random.rand(3)
+            """,
+        })
+        report = analyze([tmp_path], rules=make_rules(["global-rng"]))
+        assert len(report.findings) == 2  # c and d survive
+        assert report.suppressed == 2
+        assert {f.line for f in report.findings} == {6, 7}
+
+    def test_baseline_roundtrip(self, tmp_path):
+        write_tree(tmp_path, {"mod.py": "import numpy as np\n\na = np.random.rand(3)\n"})
+        first = analyze([tmp_path], rules=make_rules(["global-rng"]))
+        assert len(first.findings) == 1
+
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, first.findings)
+        table = load_baseline(baseline_file)
+        assert sum(table.values()) == 1
+
+        second = analyze([tmp_path], rules=make_rules(["global-rng"]), baseline=table)
+        assert second.findings == []
+        assert second.baselined == 1
+        assert second.exit_code() == 0
+
+    def test_baseline_does_not_forgive_new_findings(self, tmp_path):
+        write_tree(tmp_path, {"mod.py": "import numpy as np\n\na = np.random.rand(3)\n"})
+        baseline = {"bogus::global-rng::000000000000": 5}
+        report = analyze([tmp_path], rules=make_rules(["global-rng"]), baseline=baseline)
+        assert len(report.findings) == 1
+        assert report.exit_code() == 1
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ConfigError):
+            make_rules(["no-such-rule"])
+
+    def test_exclude_patterns(self, tmp_path):
+        write_tree(tmp_path, {
+            "keep.py": "import numpy as np\n\na = np.random.rand(1)\n",
+            "skip/gen.py": "import numpy as np\n\nb = np.random.rand(1)\n",
+        })
+        report = analyze([tmp_path], rules=make_rules(["global-rng"]), exclude=["skip/*"])
+        assert [f.path for f in report.findings] == ["keep.py"]
+
+    def test_config_loading(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(textwrap.dedent("""
+            [tool.repro.analysis]
+            disable = ["hot-loop"]
+            baseline = "lint-baseline.json"
+            exclude = ["gen/*"]
+        """), encoding="utf-8")
+        config = load_config(pyproject)
+        assert config.enable is None
+        assert config.disable == ["hot-loop"]
+        assert config.baseline == str(tmp_path / "lint-baseline.json")
+        assert config.exclude == ["gen/*"]
+
+    def test_repo_pyproject_declares_analysis_table(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        assert config.enable is not None
+        assert set(config.enable) == set(RULES)
+
+
+# ---------------------------------------------------------------------------
+# Full-tree gate + CLI
+# ---------------------------------------------------------------------------
+
+ALL_RULES_FIXTURE = {
+    "pkg.py": """
+        import numpy as np
+
+        __all__ = ["ghost"]
+
+        def noisy():
+            return np.random.rand(3)
+
+        def mutable(acc=[]):
+            try:
+                acc.append(1)
+            except:
+                pass
+            return acc
+    """,
+    "nn/layer.py": """
+        import numpy as np
+
+        A = np.zeros(2, dtype=np.float32)
+        B = np.zeros(2, dtype=np.float64)
+
+        def slow(xs):
+            for i in range(len(xs)):
+                xs[i] = xs[i] + 1.0
+            return xs
+    """,
+    "autodiff/ops.py": """
+        import numpy as np
+
+        from repro.autodiff.tensor import Tensor
+
+        def oops(x):
+            return Tensor(np.exp(x.data))
+    """,
+    "estimators/unregistered.py": """
+        from repro.estimators.base import Estimator
+
+        class Forgotten(Estimator):
+            name = "forgotten"
+
+            def fit(self, table, workload=None):
+                return self
+
+            def estimate(self, query):
+                return 0.5
+
+            def size_bytes(self):
+                return 0
+    """,
+    "estimators/registry.py": "ESTIMATORS = {}\n",
+}
+
+
+class TestFullTreeAndCLI:
+    def test_every_rule_fires_on_seeded_fixture(self, tmp_path):
+        write_tree(tmp_path, ALL_RULES_FIXTURE)
+        report = analyze([tmp_path])
+        fired = set(rule_ids(report))
+        assert fired == set(RULES), f"rules that did not fire: {set(RULES) - fired}"
+        assert report.exit_code() == 1
+
+    def test_src_tree_is_clean(self):
+        """The acceptance gate: zero non-baselined findings over src/repro."""
+        report = analyze([SRC_ROOT / "repro"])
+        assert report.parse_errors == []
+        assert report.findings == [], "\n" + "\n".join(
+            f.format_text() for f in report.findings
+        )
+
+    def _run_cli(self, *args: str, cwd: Path | None = None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_ROOT) + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True,
+            text=True,
+            cwd=cwd or REPO_ROOT,
+            env=env,
+            timeout=120,
+        )
+
+    def test_cli_clean_on_src(self):
+        result = self._run_cli("src/")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 error(s)" in result.stdout
+
+    def test_cli_fails_on_fixture_with_json_report(self, tmp_path):
+        write_tree(tmp_path, ALL_RULES_FIXTURE)
+        result = self._run_cli(str(tmp_path), "--format=json")
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload["summary"]["errors"] >= 7
+        assert set(RULES) == {f["rule"] for f in payload["findings"]}
+
+    def test_cli_write_baseline_then_clean(self, tmp_path):
+        write_tree(tmp_path, {"mod.py": "import numpy as np\n\na = np.random.rand(3)\n"})
+        baseline = tmp_path / "baseline.json"
+        first = self._run_cli(str(tmp_path), "--baseline", str(baseline), "--write-baseline")
+        assert first.returncode == 0, first.stdout + first.stderr
+        second = self._run_cli(str(tmp_path), "--baseline", str(baseline))
+        assert second.returncode == 0, second.stdout + second.stderr
+        assert "1 baselined" in second.stdout
+
+    def test_cli_list_rules(self):
+        result = self._run_cli("--list-rules")
+        assert result.returncode == 0
+        for rule_id in RULES:
+            assert rule_id in result.stdout
