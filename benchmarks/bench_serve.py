@@ -1,0 +1,23 @@
+"""Serving throughput: micro-batching + result cache vs sequential calls."""
+
+from repro.bench import experiments, record_table
+
+
+def test_serve_throughput(benchmark):
+    headers, rows, summary = experiments.serve_throughput("twi")
+    record_table("serve_throughput_twi", headers, rows,
+                 title="Serving throughput on TWI (micro-batching + cache)")
+
+    # The warm pass re-serves the identical workload: virtually every
+    # request must come from the cache.
+    warm = rows[-1]
+    assert warm[-1] >= 0.9, f"warm-pass cache hit rate too low: {warm[-1]}"
+    # Micro-batching actually coalesced concurrent clients.
+    assert summary["batcher"].largest_batch > 1
+
+    service_stats = summary["cache"]
+    assert service_stats.hits > 0
+
+    estimator, _ = experiments.get_estimator("iam", "twi")
+    _, test = experiments.get_workloads("twi")
+    benchmark(estimator.estimate_many, test.queries[:16], 16)

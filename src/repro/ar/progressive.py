@@ -109,6 +109,7 @@ class ProgressiveSampler:
         self,
         queries: Sequence[Sequence[SlotConstraint | None]],
         clip_negative: bool = True,
+        rngs: Sequence[np.random.Generator] | None = None,
     ) -> np.ndarray:
         """Vectorised estimation of several queries at once.
 
@@ -116,9 +117,10 @@ class ProgressiveSampler:
         ``n_queries * n_samples`` rows, constraints resolved per query.
         Returns (n_queries,) estimated selectivities. ``clip_negative``
         should stay on for selectivities; aggregate extensions (SUM over
-        signed values via ``scale`` hooks) turn it off.
+        signed values via ``scale`` hooks) turn it off. ``rngs`` supplies
+        one generator per query (see :meth:`sample_weights`).
         """
-        per_query = self.sample_weights(queries)
+        per_query = self.sample_weights(queries, rngs=rngs)
         means = per_query.mean(axis=1)
         return np.clip(means, 0.0, None) if clip_negative else means
 
@@ -137,11 +139,27 @@ class ProgressiveSampler:
         return estimate, stderr
 
     def sample_weights(
-        self, queries: Sequence[Sequence[SlotConstraint | None]]
+        self,
+        queries: Sequence[Sequence[SlotConstraint | None]],
+        rngs: Sequence[np.random.Generator] | None = None,
     ) -> np.ndarray:
-        """(n_queries, n_samples) raw per-sample selectivity weights."""
+        """(n_queries, n_samples) raw per-sample selectivity weights.
+
+        ``rngs`` optionally supplies one independent generator per query.
+        Each query's categorical draws then come from its own stream, so
+        its weights depend only on (model, query, its generator) — NOT on
+        the other queries sharing the forward passes. The serving layer
+        relies on this to make batched results bitwise-equal to
+        single-query runs (the AR forward pass is row-wise deterministic,
+        and wildcard skipping keeps each query's rows independent).
+        Without ``rngs`` the sampler's own stateful stream is used.
+        """
         model = self.model
         n_queries = len(queries)
+        if rngs is not None and len(rngs) != n_queries:
+            raise ConfigError(
+                f"expected {n_queries} per-query generators, got {len(rngs)}"
+            )
         for constraints in queries:
             if len(constraints) != model.n_columns:
                 raise ConfigError(
@@ -203,18 +221,19 @@ class ProgressiveSampler:
                 distribution = weighted / safe[:, None]
                 distribution[dead] = probs[dead]  # arbitrary; weight is 0
 
-                if self.stratify_first:
+                if self.stratify_first or rngs is not None:
                     draws = np.empty(len(row_ids), dtype=np.int64)
                     position = 0
                     for qi, is_active in enumerate(active):
                         if not is_active:
                             continue
+                        rng = self._rng if rngs is None else rngs[qi]
                         rows = slice(position, position + self.n_samples)
-                        if not first_sampled[qi]:
-                            draws[rows] = _systematic_rows(distribution[rows], self._rng)
+                        if self.stratify_first and not first_sampled[qi]:
+                            draws[rows] = _systematic_rows(distribution[rows], rng)
                             first_sampled[qi] = True
                         else:
-                            draws[rows] = _sample_rows(distribution[rows], self._rng)
+                            draws[rows] = _sample_rows(distribution[rows], rng)
                         position += self.n_samples
                 else:
                     draws = _sample_rows(distribution, self._rng)

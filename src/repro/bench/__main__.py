@@ -82,6 +82,14 @@ def cmd_reducers(args) -> None:
                  title=f"Domain reducers on {dataset.upper()}")
 
 
+def cmd_serve(args) -> None:
+    dataset = _single_dataset(args)
+    headers, rows, _ = experiments.serve_throughput(dataset)
+    record_table(f"serve_throughput_{dataset}", headers, rows,
+                 title=f"Serving throughput on {dataset.upper()} "
+                       "(micro-batching + cache vs sequential)")
+
+
 def cmd_fig7(args) -> None:
     dataset = _single_dataset(args)
     headers, rows = experiments.component_sweep(dataset)
@@ -103,6 +111,7 @@ COMMANDS = {
     "fig6": cmd_fig6,
     "fig7": cmd_fig7,
     "reducers": cmd_reducers,
+    "serve": cmd_serve,
 }
 
 

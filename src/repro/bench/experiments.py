@@ -12,6 +12,7 @@ are populated at laptop scale (documented in EXPERIMENTS.md).
 from __future__ import annotations
 
 import functools
+import threading
 
 import numpy as np
 
@@ -513,6 +514,95 @@ def query_distribution_sweep(dataset: str = "higgs", predicate_counts=(1, 3, 5, 
             [count, round(summary.median, 2), round(summary.p95, 2), round(summary.max, 1)]
         )
     return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Serving: batched-vs-sequential throughput and cache hit rate
+# ----------------------------------------------------------------------
+def serve_throughput(
+    dataset: str = "twi",
+    n_queries: int | None = None,
+    n_threads: int = 8,
+    max_batch_size: int = 16,
+    max_wait_ms: float = 5.0,
+):
+    """Throughput of ``repro.serve`` vs one-at-a-time ``estimate()``.
+
+    Three modes over the same fitted IAM and workload: sequential
+    single-query calls, the service with a cold cache (micro-batched
+    across ``n_threads`` clients), and a repeat pass where the cache
+    answers. Returns (headers, rows, summary) with the summary carrying
+    raw cache/batcher stats for assertions.
+    """
+    from repro.serve import EstimationService, ServeConfig
+
+    _, test = get_workloads(dataset)
+    queries = test.queries[: n_queries or len(test.queries)]
+    estimator, _ = get_estimator("iam", dataset)
+
+    headers = ["Mode", "Queries", "Total s", "Queries/s", "Cache hit rate"]
+    rows = []
+
+    with Timer() as timer:
+        for query in queries:
+            estimator.estimate(query)
+    rows.append(
+        [
+            "sequential estimate()",
+            len(queries),
+            round(timer.elapsed, 3),
+            round(len(queries) / max(timer.elapsed, 1e-9), 1),
+            "-",
+        ]
+    )
+
+    service = EstimationService(
+        ServeConfig(
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            fallback_estimator=None,
+        )
+    )
+    service.register(dataset, estimator)
+    try:
+        def run_pass(label: str) -> None:
+            def client(chunk) -> None:
+                for query in chunk:
+                    service.estimate(dataset, query)
+
+            before = service.cache.stats()
+            with Timer() as pass_timer:
+                threads = [
+                    threading.Thread(target=client, args=(queries[i::n_threads],))
+                    for i in range(n_threads)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+            after = service.cache.stats()
+            pass_requests = (after.hits + after.misses) - (before.hits + before.misses)
+            pass_hits = after.hits - before.hits
+            rows.append(
+                [
+                    label,
+                    len(queries),
+                    round(pass_timer.elapsed, 3),
+                    round(len(queries) / max(pass_timer.elapsed, 1e-9), 1),
+                    round(pass_hits / max(pass_requests, 1), 2),
+                ]
+            )
+
+        run_pass(f"served cold ({n_threads} threads)")
+        run_pass(f"served warm ({n_threads} threads)")
+        summary = {
+            "cache": service.cache.stats(),
+            "batcher": service._require_model(dataset).batcher.stats(),
+            "telemetry": service.telemetry.snapshot(),
+        }
+    finally:
+        service.close()
+    return headers, rows, summary
 
 
 # ----------------------------------------------------------------------

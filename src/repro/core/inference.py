@@ -71,12 +71,22 @@ class IAMInference:
         self.sampler = sampler
         self.bias_correction = bias_correction
 
-    def estimate(self, query: Query) -> float:
-        return float(self.estimate_batch([query])[0])
+    def estimate(self, query: Query, rng: np.random.Generator | None = None) -> float:
+        return float(self.estimate_batch([query], rngs=None if rng is None else [rng])[0])
 
-    def estimate_batch(self, queries: Sequence[Query]) -> np.ndarray:
+    def estimate_batch(
+        self,
+        queries: Sequence[Query],
+        rngs: Sequence[np.random.Generator] | None = None,
+    ) -> np.ndarray:
+        """Shared-forward-pass batch estimation (Section 5.3).
+
+        ``rngs`` (one generator per query) decouples each query's draws
+        from the batch composition; see
+        :meth:`~repro.ar.progressive.ProgressiveSampler.sample_weights`.
+        """
         constraints = [
             build_constraints(self.table, self.reducers, q, self.bias_correction)
             for q in queries
         ]
-        return self.sampler.estimate_batch(constraints)
+        return self.sampler.estimate_batch(constraints, rngs=rngs)

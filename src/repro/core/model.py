@@ -207,13 +207,24 @@ class IAM:
         raw = self._require_inference().estimate(query)
         return clamp_selectivity(raw, self.table.num_rows)
 
-    def estimate_many(self, queries: Sequence[Query], batch_size: int = 16) -> np.ndarray:
-        """Batch inference (Section 5.3): queries share forward passes."""
+    def estimate_many(
+        self,
+        queries: Sequence[Query],
+        batch_size: int = 16,
+        rngs: Sequence[np.random.Generator] | None = None,
+    ) -> np.ndarray:
+        """Batch inference (Section 5.3): queries share forward passes.
+
+        ``rngs`` (one generator per query) makes each estimate a pure
+        function of (model, query, generator) regardless of batching —
+        the serving layer's determinism contract.
+        """
         inference = self._require_inference()
         out = np.empty(len(queries))
         for start in range(0, len(queries), batch_size):
             chunk = list(queries[start : start + batch_size])
-            out[start : start + len(chunk)] = inference.estimate_batch(chunk)
+            chunk_rngs = None if rngs is None else list(rngs[start : start + len(chunk)])
+            out[start : start + len(chunk)] = inference.estimate_batch(chunk, rngs=chunk_rngs)
         n = self.table.num_rows
         return np.clip(out, 1.0 / n, 1.0)
 

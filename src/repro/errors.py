@@ -32,3 +32,15 @@ class QueryError(ReproError):
 
 class ConfigError(ReproError):
     """An invalid configuration value was supplied."""
+
+
+class ServeError(ReproError):
+    """The estimation service could not satisfy a request."""
+
+
+class UnknownModelError(ServeError):
+    """A request named a model the service has not registered."""
+
+
+class EstimateTimeoutError(ServeError):
+    """A served estimate missed its deadline (fallback may apply)."""

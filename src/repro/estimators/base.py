@@ -43,6 +43,18 @@ class Estimator:
         estimators)."""
         return np.array([self.estimate(q) for q in queries])
 
+    def estimate_batch(self, queries: list[Query], rngs=None) -> np.ndarray:
+        """Uniform batched entry point for the serving layer.
+
+        ``rngs`` optionally carries one ``numpy.random.Generator`` per
+        query for stochastic estimators whose results must not depend on
+        batch composition (see ``repro.serve``); estimators that are pure
+        functions of the query ignore it. The default is a sequential
+        loop, so every registry estimator can sit behind the micro-batcher.
+        """
+        del rngs  # deterministic once fitted; draws nothing per query
+        return np.array([self.estimate(q) for q in queries], dtype=np.float64)
+
     def timed_estimates(self, queries: list[Query]) -> tuple[np.ndarray, float]:
         """(estimates, mean ms per query) for the inference-time figure."""
         with Timer() as timer:

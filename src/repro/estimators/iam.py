@@ -40,8 +40,14 @@ class IAMEstimator(Estimator):
     def estimate(self, query: Query) -> float:
         return self._require_model().estimate(query)
 
-    def estimate_many(self, queries, batch_size: int = 16) -> np.ndarray:
-        return self._require_model().estimate_many(queries, batch_size=batch_size)
+    def estimate_many(self, queries, batch_size: int = 16, rngs=None) -> np.ndarray:
+        return self._require_model().estimate_many(queries, batch_size=batch_size, rngs=rngs)
+
+    def estimate_batch(self, queries, rngs=None) -> np.ndarray:
+        """Shared-forward-pass batching (Section 5.3) for the serving
+        layer; ``rngs`` gives each query its own draw stream so results
+        are independent of how the batcher coalesced them."""
+        return self.estimate_many(queries, batch_size=max(len(queries), 1), rngs=rngs)
 
     def size_bytes(self) -> int:
         return self._require_model().size_bytes()

@@ -81,6 +81,19 @@ class Query:
         return list(seen)
 
     # ------------------------------------------------------------------
+    def cache_key(self) -> tuple[tuple[str, str, float], ...]:
+        """Canonical, hashable identity of this conjunction.
+
+        Predicates are deduplicated and sorted, so two queries with the
+        same constraints in any order (or with a predicate repeated)
+        produce the same key, while any differing column, operator, or
+        bound produces a different one. Used by ``repro.serve`` to key
+        the result cache and to derive per-query sampling seeds.
+        """
+        triples = {(p.column, p.op.value, float(p.value)) for p in self.predicates}
+        return tuple(sorted(triples))
+
+    # ------------------------------------------------------------------
     @classmethod
     def from_pairs(cls, pairs: Iterable[tuple[str, str | Op, float]]) -> "Query":
         """Convenience constructor: ``[("x", "<=", 3.0), ...]``."""

@@ -1,0 +1,44 @@
+"""repro.serve — a concurrent estimation service over fitted estimators.
+
+Layers (each usable on its own):
+
+- :mod:`repro.serve.cache` — LRU+TTL result cache keyed on canonical
+  query form;
+- :mod:`repro.serve.batcher` — micro-batching so concurrent callers
+  share AR forward passes (Section 5.3);
+- :mod:`repro.serve.telemetry` — counters and latency percentiles;
+- :mod:`repro.serve.service` — the registry/cache/batcher/fallback
+  orchestration;
+- :mod:`repro.serve.http` — the stdlib JSON-over-HTTP front end
+  (``python -m repro.serve`` starts it).
+
+See docs/serving.md for architecture and protocol.
+"""
+
+from repro.serve.batcher import BatcherStats, MicroBatcher
+from repro.serve.cache import CacheStats, QueryCache
+from repro.serve.http import make_server, start_in_background
+from repro.serve.service import (
+    EstimateResult,
+    EstimationService,
+    ServeConfig,
+    ServedModel,
+    query_seed,
+)
+from repro.serve.telemetry import LatencySeries, Telemetry
+
+__all__ = [
+    "BatcherStats",
+    "CacheStats",
+    "EstimateResult",
+    "EstimationService",
+    "LatencySeries",
+    "MicroBatcher",
+    "QueryCache",
+    "ServeConfig",
+    "ServedModel",
+    "Telemetry",
+    "make_server",
+    "query_seed",
+    "start_in_background",
+]

@@ -1,0 +1,257 @@
+"""CLI: run (or smoke-test) the estimation service.
+
+Usage::
+
+    python -m repro.serve                      # fit a demo IAM, serve :8080
+    python -m repro.serve --port 9000 --dataset wisdm --rows 20000
+    python -m repro.serve --selftest           # CI smoke: fit, serve, verify
+
+``--selftest`` exercises the whole stack in-process — concurrent clients
+through micro-batching and the cache, bitwise-equality against the
+sequential reference, an HTTP round trip, and the degraded/timeout
+fallback — and exits nonzero on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.serve.http import make_server, start_in_background
+from repro.serve.service import EstimationService, ServeConfig
+
+_FAST_IAM = dict(
+    n_components=6,
+    gmm_domain_threshold=100,
+    epochs=2,
+    learning_rate=1e-2,
+    hidden_sizes=(16, 16),
+    n_progressive_samples=64,
+    samples_per_component=500,
+    interval_kind="empirical",
+    seed=0,
+)
+
+
+def build_demo_service(
+    dataset: str = "twi",
+    rows: int = 1500,
+    epochs: int | None = None,
+    config: ServeConfig | None = None,
+    quiet: bool = False,
+) -> EstimationService:
+    """Fit a small IAM on a synthetic dataset and serve it by name."""
+    from repro.core.config import IAMConfig
+    from repro.datasets import load_dataset
+    from repro.estimators.iam import IAMEstimator
+
+    table = load_dataset(dataset, n_rows=rows, seed=0)
+    overrides = dict(_FAST_IAM)
+    if epochs is not None:
+        overrides["epochs"] = epochs
+    if not quiet:
+        print(f"fitting IAM on {dataset} ({table.num_rows} rows) ...", flush=True)
+    started = time.perf_counter()
+    estimator = IAMEstimator(config=IAMConfig(**overrides)).fit(table)
+    if not quiet:
+        print(f"fitted in {time.perf_counter() - started:.1f}s", flush=True)
+    service = EstimationService(config=config)
+    service.register(dataset, estimator)
+    return service
+
+
+# ----------------------------------------------------------------------
+# Selftest
+# ----------------------------------------------------------------------
+def _http_json(url: str, payload: dict | None = None) -> tuple[int, dict]:
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
+
+
+def _selftest_queries(service: EstimationService, name: str, n: int):
+    from repro.query.generator import QueryGenerator
+
+    model = service._require_model(name)
+    generator = QueryGenerator(model.estimator.table, seed=42)
+    return [generator.generate() for _ in range(n)]
+
+
+def run_selftest(dataset: str = "twi", rows: int = 1500) -> int:
+    """End-to-end smoke test; returns a process exit code."""
+    config = ServeConfig(max_batch_size=8, max_wait_ms=5.0, cache_entries=512)
+    service = build_demo_service(dataset, rows=rows, config=config)
+    failures: list[str] = []
+    try:
+        queries = _selftest_queries(service, dataset, 12)
+        reference = [service.estimate_sequential(dataset, q) for q in queries]
+
+        # 8 threads, 2 passes: the second pass must hit the cache, and
+        # every served value must equal the sequential reference bitwise.
+        results: dict[tuple[int, int], float] = {}
+        errors: list[str] = []
+        lock = threading.Lock()
+
+        def client(thread_id: int) -> None:
+            for repeat in range(2):
+                for qi, query in enumerate(queries):
+                    try:
+                        r = service.estimate(dataset, query)
+                    except Exception as exc:  # pragma: no cover - diagnostics
+                        with lock:
+                            errors.append(f"thread {thread_id}: {exc!r}")
+                        return
+                    with lock:
+                        results[(thread_id * 2 + repeat, qi)] = r.selectivity
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            failures.append(f"client errors: {errors[:3]}")
+        mismatches = sum(
+            1 for (pass_id, qi), v in results.items() if v != reference[qi]
+        )
+        if mismatches:
+            failures.append(f"{mismatches} served values differ from sequential reference")
+        hits = service.cache.stats().hits
+        if hits == 0:
+            failures.append("repeated workload produced zero cache hits")
+
+        # HTTP round trip on an ephemeral port.
+        server = make_server(service, port=0)
+        start_in_background(server)
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            status, health = _http_json(f"{base}/healthz")
+            if status != 200 or health.get("status") != "ok":
+                failures.append(f"/healthz returned {status}: {health}")
+            predicates = [[p.column, p.op.value, float(p.value)] for p in queries[0]]
+            status, body = _http_json(
+                f"{base}/estimate", {"model": dataset, "predicates": predicates}
+            )
+            if status != 200:
+                failures.append(f"/estimate returned {status}: {body}")
+            elif body["selectivity"] != reference[0]:
+                failures.append("HTTP selectivity differs from sequential reference")
+            status, metrics = _http_json(f"{base}/metrics")
+            if status != 200 or metrics["cache"]["hits"] == 0:
+                failures.append(f"/metrics unhealthy (status {status})")
+            status, _ = _http_json(
+                f"{base}/estimate", {"model": "nope", "predicates": predicates}
+            )
+            if status != 404:
+                failures.append(f"unknown model returned {status}, expected 404")
+        finally:
+            server.shutdown()
+            server.server_close()
+
+        # Degraded path: a deliberately slow model must fall back.
+        model = service._require_model(dataset)
+        service.register(
+            "slow", _Slowed(model.estimator, delay_seconds=0.25), fallback="sampling"
+        )
+        degraded = service.estimate("slow", queries[0], timeout_ms=10.0)
+        if not degraded.degraded or degraded.source != "fallback":
+            failures.append(f"timeout did not degrade: {degraded.as_dict()}")
+    finally:
+        service.close()
+
+    if failures:
+        print("SELFTEST FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    stats = service.cache.stats()
+    print(
+        "selftest ok: "
+        f"{service.telemetry.counter('requests')} requests, "
+        f"{stats.hits} cache hits, "
+        f"{service.telemetry.counter('degraded')} degraded"
+    )
+    return 0
+
+
+class _Slowed:
+    """Wrap a fitted estimator with artificial latency (selftest only)."""
+
+    def __init__(self, inner, delay_seconds: float):
+        self._inner = inner
+        self._delay = delay_seconds
+        self.name = f"slow-{getattr(inner, 'name', 'estimator')}"
+
+    @property
+    def table(self):
+        return self._inner.table
+
+    def estimate(self, query):
+        time.sleep(self._delay)
+        return self._inner.estimate(query)
+
+    def estimate_batch(self, queries, rngs=None):
+        time.sleep(self._delay)
+        return self._inner.estimate_batch(queries, rngs=rngs)
+
+
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve fitted selectivity estimators over HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--dataset", choices=["twi", "wisdm", "higgs"], default="twi")
+    parser.add_argument("--rows", type=int, default=1500, help="demo table rows")
+    parser.add_argument("--epochs", type=int, default=None, help="demo IAM epochs")
+    parser.add_argument("--timeout-ms", type=float, default=None,
+                        help="per-request deadline before fallback")
+    parser.add_argument("--max-batch-size", type=int, default=16)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--cache-ttl", type=float, default=None,
+                        help="result cache TTL in seconds")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the end-to-end smoke test and exit")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return run_selftest(args.dataset, rows=args.rows)
+
+    config = ServeConfig(
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        timeout_ms=args.timeout_ms,
+        cache_ttl_seconds=args.cache_ttl,
+    )
+    service = build_demo_service(
+        args.dataset, rows=args.rows, epochs=args.epochs, config=config
+    )
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving {service.model_names()} on http://{host}:{port}", flush=True)
+    print("endpoints: POST /estimate, GET /healthz, GET /models, GET /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

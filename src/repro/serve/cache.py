@@ -1,0 +1,129 @@
+"""LRU + TTL result cache for served estimates.
+
+Keys are ``(model_name, model_version, Query.cache_key())`` tuples built
+by the service; values are whatever the service stores (selectivities).
+The cache is thread-safe, counts hits/misses/evictions/expirations, and
+takes an injectable monotonic clock so TTL behaviour is testable without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.errors import ConfigError
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters; ``entries`` is the current fill level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "entries": self.entries,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class QueryCache:
+    """Bounded LRU map with optional per-entry time-to-live.
+
+    ``ttl_seconds=None`` disables expiry; ``max_entries`` bounds memory
+    (least-recently-*used* entry is evicted). A TTL'd entry expires
+    relative to when it was *stored* — a popular stale entry still drops
+    out, which is what model hot-reload semantics want.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_entries < 1:
+            raise ConfigError("cache max_entries must be >= 1")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ConfigError("cache ttl_seconds must be positive (or None)")
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: OrderedDict[Hashable, tuple[object, float]] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default=None):
+        """Return the cached value (refreshing recency) or ``default``."""
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                self._misses += 1
+                return default
+            value, stored_at = entry
+            if self.ttl_seconds is not None and self._clock() - stored_at > self.ttl_seconds:
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value) -> None:
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+            elif len(self._entries) >= self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._entries[key] = (value, self._clock())
+
+    def invalidate(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every key matching ``predicate``; returns the count."""
+        with self._lock:
+            doomed = [k for k in self._entries if predicate(k)]
+            for k in doomed:
+                del self._entries[k]
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                entries=len(self._entries),
+            )

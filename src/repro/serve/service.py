@@ -1,0 +1,356 @@
+"""The estimation service: model registry, caching, batching, fallback.
+
+:class:`EstimationService` turns fitted estimators into a long-lived,
+thread-safe facility: requests name a model and carry a
+:class:`~repro.query.query.Query`; the service answers from the result
+cache, or coalesces the call into a shared micro-batch, or — when a
+deadline is configured and missed — degrades to a cheap fallback
+estimator and says so in the response.
+
+Determinism contract
+--------------------
+With ``deterministic=True`` (default) every query's progressive-sampling
+draws come from a generator seeded by ``hash(model name, cache key)``, so
+a served selectivity is a pure function of (model, query): bitwise-equal
+whether it was computed alone, inside any micro-batch, by any thread, or
+replayed from the cache. :meth:`EstimationService.estimate_sequential`
+exposes the same pure path without cache or batcher for verification.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, EstimateTimeoutError, ServeError, UnknownModelError
+from repro.estimators.base import Estimator
+from repro.estimators.registry import build_estimator
+from repro.query.query import Query
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import QueryCache
+from repro.serve.telemetry import Telemetry
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of the serving layer (see docs/serving.md)."""
+
+    cache_entries: int = 4096
+    cache_ttl_seconds: float | None = None
+    max_batch_size: int = 16
+    max_wait_ms: float = 2.0
+    timeout_ms: float | None = None
+    fallback_estimator: str | None = "sampling"
+    deterministic: bool = True
+    telemetry_window: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.timeout_ms is not None and self.timeout_ms <= 0:
+            raise ConfigError("timeout_ms must be positive (or None)")
+
+
+@dataclass
+class EstimateResult:
+    """One served answer, with enough provenance to debug it."""
+
+    model: str
+    selectivity: float
+    cardinality: float
+    source: str  # 'cache' | 'batch' | 'fallback'
+    degraded: bool
+    latency_ms: float
+
+    def as_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "selectivity": self.selectivity,
+            "cardinality": self.cardinality,
+            "source": self.source,
+            "degraded": self.degraded,
+            "latency_ms": round(self.latency_ms, 3),
+        }
+
+
+class ServedModel:
+    """A named estimator plus its lock, batcher, and fallback."""
+
+    def __init__(
+        self,
+        name: str,
+        estimator: Estimator,
+        config: ServeConfig,
+        fallback: Estimator | None = None,
+        source_path: str | None = None,
+    ):
+        self.name = name
+        self.estimator = estimator
+        self.fallback = fallback
+        self.source_path = source_path
+        self.source_mtime = _mtime(source_path)
+        self.version = 0
+        self.lock = threading.RLock()
+        self.batcher = MicroBatcher(
+            self._run_batch,
+            max_batch_size=config.max_batch_size,
+            max_wait_ms=config.max_wait_ms,
+            name=name,
+        )
+
+    def _run_batch(self, queries, rngs):
+        with self.lock:
+            return self.estimator.estimate_batch(queries, rngs=rngs)
+
+    @property
+    def num_rows(self) -> int:
+        return self.estimator.table.num_rows
+
+    def describe(self) -> dict:
+        stats = self.batcher.stats()
+        return {
+            "name": self.name,
+            "estimator": type(self.estimator).__name__,
+            "kind": getattr(self.estimator, "name", "unknown"),
+            "rows": self.num_rows,
+            "version": self.version,
+            "source_path": self.source_path,
+            "fallback": getattr(self.fallback, "name", None),
+            "batches": stats.batches,
+            "batched_requests": stats.requests,
+            "largest_batch": stats.largest_batch,
+            "mean_batch_size": round(stats.mean_batch_size, 2),
+        }
+
+
+def _mtime(path: str | None) -> float | None:
+    if path is None:
+        return None
+    try:
+        return os.path.getmtime(path)
+    except OSError:
+        return None
+
+
+def query_seed(model_name: str, key: tuple) -> int:
+    """Stable 64-bit sampling seed for one (model, canonical query)."""
+    digest = hashlib.sha256(f"{model_name}|{key!r}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class EstimationService:
+    """Routes (model, query) requests through cache, batcher, fallback."""
+
+    def __init__(self, config: ServeConfig | None = None, telemetry: Telemetry | None = None):
+        self.config = config or ServeConfig()
+        self.telemetry = telemetry or Telemetry(window=self.config.telemetry_window)
+        self.cache = QueryCache(
+            max_entries=self.config.cache_entries,
+            ttl_seconds=self.config.cache_ttl_seconds,
+        )
+        self._models: dict[str, ServedModel] = {}
+        self._registry_lock = threading.Lock()
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------------
+    # Model registry
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        estimator: Estimator,
+        fallback: Estimator | str | None = None,
+        source_path: str | None = None,
+    ) -> ServedModel:
+        """Serve a fitted estimator under ``name`` (replacing any holder).
+
+        ``fallback`` is the degraded-mode estimator: a fitted
+        :class:`Estimator`, a registry name to fit on the model's table
+        now, or ``None`` to use ``config.fallback_estimator`` (pass the
+        empty string to disable fallback for this model).
+        """
+        estimator.table  # raises NotFittedError early on unfitted models
+        resolved = self._resolve_fallback(estimator, fallback)
+        model = ServedModel(
+            name, estimator, self.config, fallback=resolved, source_path=source_path
+        )
+        with self._registry_lock:
+            previous = self._models.get(name)
+            self._models[name] = model
+        if previous is not None:
+            previous.batcher.close()
+        self.telemetry.increment("models.registered")
+        return model
+
+    def load_model(self, name: str, path: str, table, fallback=None) -> ServedModel:
+        """Load a ``save_iam`` archive and serve it under ``name``.
+
+        ``table`` rebinds inference exactly as
+        :func:`repro.core.persistence.load_iam` requires; the archive
+        path is remembered so :meth:`reload` can hot-swap new weights.
+        """
+        return self.register(
+            name, _estimator_from_archive(path, table), fallback=fallback, source_path=path
+        )
+
+    def reload(self, name: str, force: bool = False) -> bool:
+        """Hot-reload ``name`` from its archive if the file changed.
+
+        Returns True when new weights were swapped in. The swap happens
+        under the per-model lock, so in-flight batches finish on the old
+        weights and later ones see the new; the bumped version keys the
+        cache, so stale entries can never answer for the new model.
+        """
+        model = self._require_model(name)
+        if model.source_path is None:
+            raise ServeError(f"model {name!r} was not loaded from an archive")
+        current = _mtime(model.source_path)
+        if not force and current is not None and current == model.source_mtime:
+            return False
+        table = model.estimator.table
+        fresh = _estimator_from_archive(model.source_path, table)
+        with model.lock:
+            model.estimator = fresh
+            model.source_mtime = current
+            model.version += 1
+        self.cache.invalidate(lambda key: key[0] == name)
+        self.telemetry.increment("models.reloaded")
+        return True
+
+    def unregister(self, name: str) -> None:
+        with self._registry_lock:
+            model = self._models.pop(name, None)
+        if model is None:
+            raise UnknownModelError(f"no model named {name!r}")
+        model.batcher.close()
+        self.cache.invalidate(lambda key: key[0] == name)
+
+    def models(self) -> list[dict]:
+        with self._registry_lock:
+            models = list(self._models.values())
+        return [m.describe() for m in models]
+
+    def model_names(self) -> list[str]:
+        with self._registry_lock:
+            return sorted(self._models)
+
+    def _require_model(self, name: str) -> ServedModel:
+        with self._registry_lock:
+            model = self._models.get(name)
+        if model is None:
+            raise UnknownModelError(
+                f"no model named {name!r}; registered: {self.model_names()}"
+            )
+        return model
+
+    def _resolve_fallback(
+        self, estimator: Estimator, fallback: Estimator | str | None
+    ) -> Estimator | None:
+        if isinstance(fallback, Estimator):
+            return fallback
+        name = self.config.fallback_estimator if fallback is None else fallback
+        if not name:
+            return None
+        return build_estimator(name).fit(estimator.table)
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def estimate(
+        self, model_name: str, query: Query, timeout_ms: float | None = None
+    ) -> EstimateResult:
+        """Serve one query: cache, then micro-batch, then fallback."""
+        start = time.perf_counter()
+        model = self._require_model(model_name)
+        key = (model_name, model.version, query.cache_key())
+        self.telemetry.increment("requests")
+        self.telemetry.increment(f"requests.{model_name}")
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.telemetry.increment("cache.hits")
+            return self._finish(model, cached, "cache", False, start)
+        self.telemetry.increment("cache.misses")
+
+        rng = None
+        if self.config.deterministic:
+            rng = ensure_rng(query_seed(model_name, key[2]))
+        deadline_ms = self.config.timeout_ms if timeout_ms is None else timeout_ms
+        try:
+            selectivity = model.batcher.submit(
+                query,
+                rng=rng,
+                timeout_seconds=None if deadline_ms is None else deadline_ms / 1000.0,
+            )
+        except EstimateTimeoutError:
+            self.telemetry.increment("timeouts")
+            if model.fallback is None:
+                raise
+            selectivity = float(model.fallback.estimate(query))
+            self.telemetry.increment("degraded")
+            return self._finish(model, selectivity, "fallback", True, start)
+        except Exception:
+            self.telemetry.increment("errors")
+            raise
+        self.cache.put(key, selectivity)
+        return self._finish(model, selectivity, "batch", False, start)
+
+    def estimate_sequential(self, model_name: str, query: Query) -> float:
+        """The reference path: no cache, no batcher, same determinism.
+
+        With ``deterministic=True`` this equals :meth:`estimate`'s
+        selectivity bitwise for the same (model, query) — the invariant
+        the concurrency tests and ``--selftest`` assert.
+        """
+        model = self._require_model(model_name)
+        rngs = None
+        if self.config.deterministic:
+            rngs = [ensure_rng(query_seed(model_name, query.cache_key()))]
+        with model.lock:
+            return float(model.estimator.estimate_batch([query], rngs=rngs)[0])
+
+    def _finish(
+        self, model: ServedModel, selectivity: float, source: str, degraded: bool, start: float
+    ) -> EstimateResult:
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        self.telemetry.observe_ms("estimate", latency_ms)
+        self.telemetry.observe_ms(f"estimate.{model.name}", latency_ms)
+        return EstimateResult(
+            model=model.name,
+            selectivity=float(selectivity),
+            cardinality=float(selectivity) * model.num_rows,
+            source=source,
+            degraded=degraded,
+            latency_ms=latency_ms,
+        )
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """JSON-ready health/telemetry snapshot for ``/metrics``."""
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 1),
+            "models": self.models(),
+            "cache": self.cache.stats().as_dict(),
+            "telemetry": self.telemetry.snapshot(),
+        }
+
+    def close(self) -> None:
+        with self._registry_lock:
+            models = list(self._models.values())
+            self._models.clear()
+        for model in models:
+            model.batcher.close()
+
+
+def _estimator_from_archive(path: str, table) -> Estimator:
+    """load_iam + wrap in the Estimator interface the service speaks."""
+    from repro.core.persistence import load_iam
+    from repro.estimators.iam import IAMEstimator
+
+    core_model = load_iam(path, table)
+    estimator = IAMEstimator(config=core_model.config)
+    estimator.model = core_model
+    estimator._table = table
+    return estimator

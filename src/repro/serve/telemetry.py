@@ -1,0 +1,96 @@
+"""Request counters and latency histograms for the estimation service.
+
+Latencies are kept in a bounded per-series reservoir (the most recent
+``window`` observations) from which p50/p95/p99 are computed on demand —
+cheap enough for a ``/metrics`` endpoint polled by humans, with bounded
+memory under sustained traffic.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+
+from repro.errors import ConfigError
+
+_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+class LatencySeries:
+    """One named latency stream: lifetime count/total + recent window."""
+
+    def __init__(self, window: int = 2048):
+        if window < 1:
+            raise ConfigError("latency window must be >= 1")
+        self.count = 0
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+        self._recent: deque[float] = deque(maxlen=window)
+
+    def observe(self, ms: float) -> None:
+        self.count += 1
+        self.total_ms += ms
+        if ms > self.max_ms:
+            self.max_ms = ms
+        self._recent.append(ms)
+
+    def summary(self) -> dict:
+        ordered = sorted(self._recent)
+        out = {
+            "count": self.count,
+            "mean_ms": round(self.total_ms / self.count, 3) if self.count else 0.0,
+            "max_ms": round(self.max_ms, 3),
+        }
+        for label, q in _QUANTILES:
+            out[f"{label}_ms"] = round(_quantile(ordered, q), 3)
+        return out
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Nearest-rank quantile over an already-sorted sample (0 if empty)."""
+    if not ordered:
+        return 0.0
+    rank = max(math.ceil(q * len(ordered)), 1) - 1
+    return ordered[min(rank, len(ordered) - 1)]
+
+
+class Telemetry:
+    """Thread-safe counters + latency series with a snapshot API."""
+
+    def __init__(self, window: int = 2048):
+        self._window = window
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._latencies: dict[str, LatencySeries] = {}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe_ms(self, name: str, ms: float) -> None:
+        with self._lock:
+            series = self._latencies.get(name)
+            if series is None:
+                series = self._latencies[name] = LatencySeries(self._window)
+            series.observe(ms)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: {'counters': {...}, 'latency': {name: {...}}}."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "latency": {
+                    name: series.summary()
+                    for name, series in sorted(self._latencies.items())
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._latencies.clear()

@@ -111,6 +111,29 @@ class TestQuery:
         with pytest.raises(QueryError):
             q.constraints(table)["x"].bounds()
 
+    def test_cache_key_is_order_insensitive(self):
+        a = Query.from_pairs([("x", "<=", 1.0), ("y", ">=", 0.5)])
+        b = Query.from_pairs([("y", ">=", 0.5), ("x", "<=", 1.0)])
+        assert a.cache_key() == b.cache_key()
+        assert hash(a.cache_key()) == hash(b.cache_key())
+
+    def test_cache_key_dedupes_repeated_predicates(self):
+        a = Query.from_pairs([("x", "<=", 1.0), ("x", "<=", 1.0)])
+        b = Query.from_pairs([("x", "<=", 1.0)])
+        assert a.cache_key() == b.cache_key()
+
+    def test_cache_key_distinguishes_ranges(self):
+        base = Query.from_pairs([("x", "<=", 1.0)])
+        assert base.cache_key() != Query.from_pairs([("x", "<=", 2.0)]).cache_key()
+        assert base.cache_key() != Query.from_pairs([("x", ">=", 1.0)]).cache_key()
+        assert base.cache_key() != Query.from_pairs([("y", "<=", 1.0)]).cache_key()
+
+    def test_cache_key_normalises_value_types(self):
+        assert (
+            Query.from_pairs([("x", "=", 3)]).cache_key()
+            == Query.from_pairs([("x", "=", 3.0)]).cache_key()
+        )
+
 
 class TestExecutor:
     def test_conjunction_matches_manual(self, table):
