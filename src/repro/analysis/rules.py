@@ -671,6 +671,59 @@ class ShadowedExportRule(FileRule):
 
 
 # ---------------------------------------------------------------------------
+# runtime-tensor-in-inference
+# ---------------------------------------------------------------------------
+
+
+class RuntimeTensorRule(FileRule):
+    """The training/inference split is a hard boundary, machine-enforced.
+
+    ``repro/runtime/`` is the compiled, pure-numpy inference side and
+    ``ProgressiveSampler.sample_weights`` is the per-query hot loop; an
+    ``autodiff.Tensor`` constructed in either reintroduces the per-call
+    graph bookkeeping the runtime exists to eliminate — and it does so
+    silently, since results stay correct and only latency regresses.
+    """
+
+    id = "runtime-tensor-in-inference"
+    severity = Severity.ERROR
+    description = "autodiff Tensor constructed on the compiled inference path"
+    # Scope-aware: the engine's flat walk cannot tell which function a
+    # call sits in, so the rule does its own subtree scans in finish_file.
+    node_types = ()
+
+    def finish_file(self, pf: ParsedFile) -> Iterable[Finding]:
+        if "runtime" in pf.parts:
+            yield from self._scan(
+                pf, pf.tree, "repro/runtime is the Tensor-free inference side"
+            )
+        for stmt in pf.tree.body:
+            if isinstance(stmt, ast.ClassDef) and stmt.name == "ProgressiveSampler":
+                for item in stmt.body:
+                    if (
+                        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and item.name == "sample_weights"
+                    ):
+                        yield from self._scan(
+                            pf, item,
+                            "ProgressiveSampler.sample_weights is the inference hot loop",
+                        )
+
+    def _scan(self, pf: ParsedFile, root: ast.AST, why: str) -> Iterable[Finding]:
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is not None and dotted.split(".")[-1] == "Tensor":
+                yield self.make_finding(
+                    pf, node,
+                    f"autodiff.Tensor constructed on the inference path ({why}); "
+                    "keep Tensors in training code and execute through "
+                    "repro.runtime plans here",
+                )
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -685,6 +738,7 @@ RULES: dict[str, type[Rule]] = {
         BareExceptRule,
         HotLoopRule,
         ShadowedExportRule,
+        RuntimeTensorRule,
     )
 }
 

@@ -25,6 +25,7 @@ is the selectivity estimate; the batch mean is returned.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -34,6 +35,7 @@ from repro.autodiff import ops
 from repro.autodiff.tensor import no_grad
 from repro.ar.made import MADE
 from repro.errors import ConfigError
+from repro.runtime.plan import MADEPlan, Workspace, compile_made, softmax_inplace
 from repro.utils.rng import ensure_rng
 
 
@@ -60,11 +62,41 @@ class SlotConstraint:
     per_sample: Callable[[np.ndarray], np.ndarray] | None = None
     scale: Callable[[np.ndarray], np.ndarray] | None = None
 
-    def resolve_mass(self, sampled_tokens: np.ndarray, vocab: int) -> np.ndarray | None:
-        """Combine static and per-sample mass into (batch, vocab) or None."""
+    def resolve_mass(
+        self, sampled_tokens: np.ndarray, vocab: int, dtype=np.float64
+    ) -> np.ndarray | None:
+        """Combine static and per-sample mass into (batch, vocab) or None.
+
+        ``dtype`` is the sampler's working precision: float64 for the
+        exact path, the plan dtype for reduced-precision plans. (It used
+        to be hardwired to float64, silently upcasting float32 models.)
+
+        A static 1-D ``mass`` with no ``per_sample`` hook resolves to the
+        same broadcast view on every call, so that case is memoised per
+        ``(dtype, batch)``. The cached result is a *view* over ``mass``
+        (exactly what the uncached path returned), not a copy.
+        """
+        if self.per_sample is None:
+            if self.mass is None:
+                return None
+            n = len(sampled_tokens)
+            cached = getattr(self, "_resolved", None)
+            if cached is not None and cached[0] == (np.dtype(dtype), n):
+                return cached[1]
+            mass = np.asarray(self.mass, dtype=dtype)
+            if mass.ndim == 1:
+                if mass.shape[0] != vocab:
+                    raise ConfigError(
+                        f"constraint mass has size {mass.shape[0]}, expected {vocab}"
+                    )
+                combined = np.broadcast_to(mass, (n, vocab))
+            else:
+                combined = mass
+            self._resolved = ((np.dtype(dtype), n), combined)
+            return combined
         combined = None
         if self.mass is not None:
-            mass = np.asarray(self.mass, dtype=np.float64)
+            mass = np.asarray(self.mass, dtype=dtype)
             if mass.ndim == 1:
                 if mass.shape[0] != vocab:
                     raise ConfigError(
@@ -73,10 +105,8 @@ class SlotConstraint:
                 combined = np.broadcast_to(mass, (len(sampled_tokens), vocab))
             else:
                 combined = mass
-        if self.per_sample is not None:
-            dynamic = np.asarray(self.per_sample(sampled_tokens), dtype=np.float64)
-            combined = dynamic if combined is None else combined * dynamic
-        return combined
+        dynamic = np.asarray(self.per_sample(sampled_tokens), dtype=dtype)
+        return dynamic if combined is None else combined * dynamic
 
 
 class ProgressiveSampler:
@@ -88,14 +118,39 @@ class ProgressiveSampler:
     single uniform offset plus an even grid covers it proportionally.
     This is a classic variance-reduction device; the estimator stays
     unbiased because the marginal law of each draw is unchanged.
+
+    Backends
+    --------
+    ``model`` may be a trained :class:`~repro.ar.made.MADE` or an already
+    compiled :class:`~repro.runtime.plan.MADEPlan`. A MADE is compiled
+    into a plan at construction (``use_plan=False`` opts out and runs the
+    Module/autodiff path — kept for verification; both backends produce
+    bitwise-identical weights). The plan is a snapshot of the weights:
+    if the module trains further, build a new sampler.
     """
 
     def __init__(
-        self, model: MADE, n_samples: int = 512, seed=None, stratify_first: bool = False
+        self,
+        model: MADE | MADEPlan,
+        n_samples: int = 512,
+        seed=None,
+        stratify_first: bool = False,
+        use_plan: bool = True,
     ):
         if n_samples < 1:
             raise ConfigError("n_samples must be >= 1")
-        self.model = model
+        if isinstance(model, MADEPlan):
+            self.model = None
+            self.plan = model
+        else:
+            self.model = model
+            self.plan = compile_made(model) if use_plan else None
+        # The metadata surface (n_columns/vocab_sizes/ar_order/...) both
+        # backends share; also what sample_weights dispatches on.
+        self.spec = self.plan if self.plan is not None else self.model
+        self.dtype = np.dtype(np.float64) if self.plan is None else self.plan.dtype
+        self._workspace = Workspace()
+        self._ar_order = list(self.spec.ar_order())  # fixed per model
         self.n_samples = n_samples
         self.stratify_first = stratify_first
         self._rng = ensure_rng(seed)
@@ -122,7 +177,9 @@ class ProgressiveSampler:
         """
         per_query = self.sample_weights(queries, rngs=rngs)
         means = per_query.mean(axis=1)
-        return np.clip(means, 0.0, None) if clip_negative else means
+        # maximum(x, 0.0) is value-identical to clip(x, 0.0, None)
+        # (NaNs propagate through both) and much cheaper to dispatch.
+        return np.maximum(means, 0.0) if clip_negative else means
 
     def estimate_with_error(
         self, constraints: Sequence[SlotConstraint | None]
@@ -154,8 +211,9 @@ class ProgressiveSampler:
         and wildcard skipping keeps each query's rows independent).
         Without ``rngs`` the sampler's own stateful stream is used.
         """
-        model = self.model
+        model = self.spec
         n_queries = len(queries)
+        ns = self.n_samples
         if rngs is not None and len(rngs) != n_queries:
             raise ConfigError(
                 f"expected {n_queries} per-query generators, got {len(rngs)}"
@@ -166,80 +224,133 @@ class ProgressiveSampler:
                     f"expected {model.n_columns} constraints per query, "
                     f"got {len(constraints)}"
                 )
-        batch = n_queries * self.n_samples
-        tokens = np.tile(model.wildcard_ids, (batch, 1))
-        wildcard = np.ones((batch, model.n_columns), dtype=bool)
-        weights = np.ones(batch)
+        batch = n_queries * ns
+        # `tokens` is internal scratch (never escapes this call) so it can
+        # live in the workspace; `weights` is returned to the caller and
+        # must be a fresh array each call.
+        tokens = self._workspace.get("tokens", (batch, model.n_columns), np.int64)
+        tokens[:] = model.wildcard_ids
+        weights = np.ones(batch, dtype=self.dtype)
         first_sampled = np.zeros(n_queries, dtype=bool)  # stratification state
+        nothing_sampled = True  # until the first draws land in `tokens`
 
-        with no_grad():
-            for column in model.ar_order():
+        # The autodiff guard only matters on the Module backend; the plan
+        # path is pure numpy and skips the (measurable) enter/exit cost.
+        with no_grad() if self.plan is None else nullcontext():
+            for column in self._ar_order:
                 active = [q[column] is not None for q in queries]
                 if not any(active):
                     continue  # wildcard skipping: no factor, no sampling
                 vocab = model.vocab_sizes[column]
 
                 # Wildcard skipping survives batching: only the rows whose
-                # query constrains this column get a forward pass.
-                sampled_rows = np.zeros(batch, dtype=bool)
-                for qi, is_active in enumerate(active):
-                    if is_active:
-                        sampled_rows[qi * self.n_samples : (qi + 1) * self.n_samples] = True
-                row_ids = np.flatnonzero(sampled_rows)
+                # query constrains this column get a forward pass. When
+                # every query does, operate on views, not gather copies.
+                if all(active):
+                    row_sel: slice | np.ndarray = slice(None)
+                    sub_tokens = tokens
+                    n_rows = batch
+                else:
+                    sampled_rows = np.zeros(batch, dtype=bool)
+                    for qi, is_active in enumerate(active):
+                        if is_active:
+                            sampled_rows[qi * ns : (qi + 1) * ns] = True
+                    row_sel = np.flatnonzero(sampled_rows)
+                    sub_tokens = tokens[row_sel]
+                    n_rows = len(row_sel)
 
-                logits = model.column_logits(
-                    column, tokens[row_ids], wildcard_mask=wildcard[row_ids]
-                )
-                probs = ops.softmax(logits, axis=-1).numpy()
+                # No wildcard mask: unsampled columns hold their wildcard
+                # id in `tokens`, which is exactly what the mask would
+                # substitute — both backends skip that work bitwise-free.
+                # Both feed one in-place softmax, so the plan path is
+                # bitwise-equal to the Module path by shared code.
+                if self.plan is not None:
+                    if nothing_sampled:
+                        # Every token still holds its wildcard id, so the
+                        # logits depend only on the weights — served from
+                        # the plan's memo instead of running the trunk.
+                        logits = self.plan.forward_slice_wildcard(
+                            column, n_rows, workspace=self._workspace
+                        )
+                    else:
+                        logits = self.plan.forward_slice(
+                            column, sub_tokens, workspace=self._workspace
+                        )
+                else:
+                    logits = self.model.column_logits(column, sub_tokens).numpy()
+                probs = softmax_inplace(logits)
 
-                mass = np.ones((len(row_ids), vocab))
-                has_mass = np.zeros(len(row_ids), dtype=bool)
+                # `mass` stays unmaterialised while no active constraint
+                # resolves one (all-ones mass would multiply away anyway),
+                # and a single covering mass is used as-is — no template.
+                resolved_at = []  # (row offset in the active block, mass)
                 position = 0
                 for qi, constraints in enumerate(queries):
                     constraint = constraints[column]
                     if constraint is None:
                         continue
-                    rows = slice(position, position + self.n_samples)
-                    sub = tokens[qi * self.n_samples : (qi + 1) * self.n_samples]
-                    resolved = constraint.resolve_mass(sub, vocab)
+                    sub = tokens[qi * ns : (qi + 1) * ns]
+                    resolved = constraint.resolve_mass(sub, vocab, dtype=self.dtype)
                     if resolved is not None:
-                        mass[rows] = resolved
-                        has_mass[rows] = True
-                    position += self.n_samples
+                        resolved_at.append((position, resolved))
+                    position += ns
 
-                weighted = probs * mass
-                valid = weighted.sum(axis=1)
                 # Per Section 5.2: the range probability is the factor.
                 # Rows whose constraint has no mass (e.g. fanout slots)
                 # sample from the full conditional with factor 1.
-                weights[row_ids] = np.where(
-                    has_mass, weights[row_ids] * valid, weights[row_ids]
-                )
+                if not resolved_at:
+                    weighted = probs
+                    valid = probs.sum(axis=1)
+                elif len(resolved_at) * ns == n_rows:  # every row carries mass
+                    if len(resolved_at) == 1:
+                        mass = resolved_at[0][1]
+                    else:
+                        mass = np.empty((n_rows, vocab), dtype=self.dtype)
+                        for offset, resolved in resolved_at:
+                            mass[offset : offset + ns] = resolved
+                    weighted = probs * mass
+                    valid = weighted.sum(axis=1)
+                    weights[row_sel] *= valid
+                else:
+                    mass = np.ones((n_rows, vocab), dtype=self.dtype)
+                    has_mass = np.zeros(n_rows, dtype=bool)
+                    for offset, resolved in resolved_at:
+                        mass[offset : offset + ns] = resolved
+                        has_mass[offset : offset + ns] = True
+                    weighted = probs * mass
+                    valid = weighted.sum(axis=1)
+                    current = weights[row_sel]
+                    weights[row_sel] = np.where(has_mass, current * valid, current)
 
                 dead = valid <= 0.0
-                safe = np.where(dead, 1.0, valid)
-                distribution = weighted / safe[:, None]
-                distribution[dead] = probs[dead]  # arbitrary; weight is 0
+                if dead.any():
+                    safe = np.where(dead, 1.0, valid)
+                    distribution = weighted / safe[:, None]
+                    distribution[dead] = probs[dead]  # arbitrary; weight is 0
+                elif weighted is probs:
+                    distribution = weighted / valid[:, None]
+                else:
+                    distribution = np.divide(weighted, valid[:, None], out=weighted)
 
                 if self.stratify_first or rngs is not None:
-                    draws = np.empty(len(row_ids), dtype=np.int64)
+                    draws = np.empty(n_rows, dtype=np.int64)
                     position = 0
                     for qi, is_active in enumerate(active):
                         if not is_active:
                             continue
                         rng = self._rng if rngs is None else rngs[qi]
-                        rows = slice(position, position + self.n_samples)
+                        rows = slice(position, position + ns)
                         if self.stratify_first and not first_sampled[qi]:
                             draws[rows] = _systematic_rows(distribution[rows], rng)
                             first_sampled[qi] = True
                         else:
                             draws[rows] = _sample_rows(distribution[rows], rng)
-                        position += self.n_samples
+                        position += ns
                 else:
                     draws = _sample_rows(distribution, self._rng)
 
-                tokens[row_ids, column] = draws
-                wildcard[row_ids, column] = False
+                tokens[row_sel, column] = draws
+                nothing_sampled = False
 
                 position = 0
                 for qi, constraints in enumerate(queries):

@@ -14,6 +14,8 @@ Each command prints the paper-style table (and records it under
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro.bench import bench_scale, experiments, record_table
@@ -97,6 +99,38 @@ def cmd_fig7(args) -> None:
                  title=f"Figure 7 / Table 12: components on {dataset.upper()}")
 
 
+def cmd_inference(args) -> int:
+    """Compiled-runtime latency gate: plan vs Module path, bitwise-checked.
+
+    Writes ``BENCH_inference.json`` (p50 latencies, speedup ratio, and
+    the bitwise-equality flag) and exits nonzero if the plan path ever
+    disagrees with the Module path — CI runs this with ``--smoke``.
+    """
+    if args.smoke:
+        # Must happen before any driver reads bench_scale() (it is lazy).
+        os.environ["REPRO_BENCH_SCALE"] = "micro"
+    dataset = _single_dataset(args)
+    headers, rows, summary = experiments.inference_runtime(dataset, n_queries=args.queries)
+    record_table(
+        f"inference_runtime_{dataset}", headers, rows,
+        title=f"Compiled runtime vs Module path on {dataset.upper()} "
+              f"(speedup p50 {summary['speedup_p50']:.1f}x, "
+              f"bitwise_equal={summary['bitwise_equal']})",
+    )
+    out = args.output or "BENCH_inference.json"
+    with open(out, "w") as fh:
+        json.dump(summary, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+    if not summary["bitwise_equal"]:
+        print(
+            "ERROR: compiled-plan selectivities diverge from the Module path",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "table2": lambda a: cmd_accuracy(a, "wisdm", "table2_wisdm"),
@@ -112,6 +146,7 @@ COMMANDS = {
     "fig7": cmd_fig7,
     "reducers": cmd_reducers,
     "serve": cmd_serve,
+    "inference": cmd_inference,
 }
 
 
@@ -124,14 +159,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="experiment id (or 'list')")
     parser.add_argument("--dataset", choices=["wisdm", "twi", "higgs"],
                         help="dataset for per-dataset experiments")
+    parser.add_argument("--smoke", action="store_true",
+                        help="force the 'micro' scale (CI gate for 'inference')")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="query-count override for 'inference'")
+    parser.add_argument("--output", default=None,
+                        help="JSON output path for 'inference' "
+                             "(default BENCH_inference.json)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         print("available experiments:", ", ".join(sorted(COMMANDS)))
         print(f"active scale: {bench_scale().name} (set REPRO_BENCH_SCALE)")
         return 0
-    COMMANDS[args.experiment](args)
-    return 0
+    return int(COMMANDS[args.experiment](args) or 0)
 
 
 if __name__ == "__main__":

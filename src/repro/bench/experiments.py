@@ -606,6 +606,91 @@ def serve_throughput(
 
 
 # ----------------------------------------------------------------------
+# Runtime: compiled-plan inference vs the Module path
+# ----------------------------------------------------------------------
+def inference_runtime(dataset: str = "twi", n_queries: int | None = None, repeats: int = 5):
+    """Single-query latency of the compiled runtime vs the nn/autodiff path.
+
+    Both paths answer every query through identically-seeded progressive
+    samplers, so their selectivities must agree *bitwise* — the driver
+    asserts it and reports the flag. Latency is best-of-``repeats`` per
+    query after a warm-up pass (the usual defence against scheduler
+    noise), and the headline ``speedup_p50`` is the median of per-query
+    module/plan ratios — pairing each query with itself keeps a noisy
+    outlier query from moving the aggregate. The summary dict feeds
+    ``BENCH_inference.json``.
+    """
+    from repro.ar.progressive import ProgressiveSampler
+    from repro.core.inference import IAMInference
+
+    scale = bench_scale()
+    _, test = get_workloads(dataset)
+    queries = test.queries[: n_queries or min(32, len(test.queries))]
+    estimator, _ = get_estimator("iam", dataset)
+    core = estimator.model
+    cfg = core.config
+    sampler_kwargs = dict(
+        n_samples=cfg.n_progressive_samples,
+        stratify_first=cfg.stratified_sampling,
+    )
+
+    def build(use_plan: bool) -> IAMInference:
+        sampler = ProgressiveSampler(
+            core.model, seed=ensure_rng(cfg.seed), use_plan=use_plan, **sampler_kwargs
+        )
+        return IAMInference(
+            core.table, core.reducers, sampler, bias_correction=cfg.bias_correction
+        )
+
+    paths = {"module": build(False), "plan": build(True)}
+    latencies, batch_ms, answers = {}, {}, {}
+    for label, inference in paths.items():
+        rngs_for = lambda i: [ensure_rng(1000 + i)]  # noqa: E731
+        for i, query in enumerate(queries):  # warm-up: caches + workspaces
+            inference.estimate_batch([query], rngs=rngs_for(i))
+        per_query = np.empty((repeats, len(queries)))
+        for r in range(repeats):
+            got = []
+            for i, query in enumerate(queries):
+                rng = rngs_for(i)  # generator setup is not the path under test
+                with Timer() as timer:
+                    got.append(inference.estimate_batch([query], rngs=rng)[0])
+                per_query[r, i] = timer.elapsed_ms
+        answers[label] = np.asarray(got)
+        latencies[label] = per_query.min(axis=0)
+        rngs = [ensure_rng(1000 + i) for i in range(len(queries))]
+        with Timer() as timer:
+            batch_answers = inference.estimate_batch(queries, rngs=rngs)
+        batch_ms[label] = timer.elapsed_ms / len(queries)
+        assert np.array_equal(batch_answers, answers[label])  # batching is latency-only
+
+    bitwise_equal = bool(np.array_equal(answers["module"], answers["plan"]))
+    p50 = {k: float(np.percentile(v, 50)) for k, v in latencies.items()}
+    p95 = {k: float(np.percentile(v, 95)) for k, v in latencies.items()}
+    ratios = latencies["module"] / np.maximum(latencies["plan"], 1e-9)
+    headers = ["Path", "p50 ms/query", "p95 ms/query", "batch ms/query"]
+    rows = [
+        [label, round(p50[label], 3), round(p95[label], 3), round(batch_ms[label], 3)]
+        for label in ("module", "plan")
+    ]
+    summary = {
+        "experiment": "inference_runtime",
+        "dataset": dataset,
+        "scale": scale.name,
+        "n_queries": len(queries),
+        "repeats": repeats,
+        "p50_ms": p50,
+        "p95_ms": p95,
+        "batch_ms_per_query": {k: float(v) for k, v in batch_ms.items()},
+        "speedup_p50": float(np.percentile(ratios, 50)),
+        "speedup_batch": batch_ms["module"] / max(batch_ms["plan"], 1e-9),
+        "plan_fingerprint": paths["plan"].sampler.plan.fingerprint,
+        "bitwise_equal": bitwise_equal,
+    }
+    return headers, rows, summary
+
+
+# ----------------------------------------------------------------------
 # Ablations (DESIGN.md Section 6)
 # ----------------------------------------------------------------------
 def ablation_table(dataset: str, variants: dict[str, dict]):

@@ -149,8 +149,11 @@ class AQPEngine:
 
         n = n_samples or model.config.n_progressive_samples
         seed = model.config.seed
+        # Both passes run off the already compiled inference plan; the
+        # Module is only the fallback for models without one.
+        backend = model.runtime_plan() or model.model
 
-        count_sampler = ProgressiveSampler(model.model, n_samples=n, seed=ensure_rng(seed))
+        count_sampler = ProgressiveSampler(backend, n_samples=n, seed=ensure_rng(seed))
         sel = float(count_sampler.estimate_batch([constraints])[0])
 
         sum_constraints = list(constraints)
@@ -160,7 +163,7 @@ class AQPEngine:
             per_sample=base.per_sample,
             scale=lambda tokens: means[tokens],
         )
-        sum_sampler = ProgressiveSampler(model.model, n_samples=n, seed=ensure_rng(seed))
+        sum_sampler = ProgressiveSampler(backend, n_samples=n, seed=ensure_rng(seed))
         expected = float(
             sum_sampler.estimate_batch([sum_constraints], clip_negative=False)[0]
         )

@@ -29,6 +29,7 @@ from repro.ar.progressive import ProgressiveSampler, SlotConstraint
 from repro.data.table import Table
 from repro.query.query import Query
 from repro.reducers.base import DomainReducer
+from repro.runtime.gmm import RangeMassCache
 
 
 def build_constraints(
@@ -36,8 +37,14 @@ def build_constraints(
     reducers: Sequence[DomainReducer],
     query: Query,
     bias_correction: bool = True,
+    mass_cache: RangeMassCache | None = None,
 ) -> list[SlotConstraint | None]:
-    """Per-column sampler constraints for one conjunctive query."""
+    """Per-column sampler constraints for one conjunctive query.
+
+    ``mass_cache`` (when given) memoizes the per-component range masses
+    ``P_GMM^k(R_i)`` across queries — bitwise-equal to the direct
+    ``reducer.range_mass`` call, just cheaper on repeated bounds.
+    """
     constraint_map = query.constraints(table)
     slots: list[SlotConstraint | None] = []
     for column, reducer in zip(table.columns, reducers):
@@ -48,7 +55,10 @@ def build_constraints(
         if constraint.is_empty:
             slots.append(SlotConstraint(mass=np.zeros(reducer.n_tokens)))
             continue
-        mass = reducer.range_mass(constraint.intervals)
+        if mass_cache is not None:
+            mass = mass_cache.range_mass(column.name, constraint.intervals)
+        else:
+            mass = reducer.range_mass(constraint.intervals)
         if not bias_correction and not reducer.is_exact:
             # Vanilla (biased) sampling: whole components inside R'.
             mass = (mass > 0.0).astype(np.float64)
@@ -57,7 +67,13 @@ def build_constraints(
 
 
 class IAMInference:
-    """Bundles the sampler with the fitted reducers for query answering."""
+    """Bundles the sampler with the fitted reducers for query answering.
+
+    Owns a :class:`~repro.runtime.gmm.RangeMassCache` over its reducers.
+    The cache's lifetime equals this object's: ``IAM._refresh_inference``
+    builds a fresh ``IAMInference`` after every (re)fit and hot reload,
+    so cached masses can never outlive the reducers that produced them.
+    """
 
     def __init__(
         self,
@@ -65,11 +81,22 @@ class IAMInference:
         reducers: Sequence[DomainReducer],
         sampler: ProgressiveSampler,
         bias_correction: bool = True,
+        mass_cache: RangeMassCache | None = None,
     ):
         self.table = table
         self.reducers = list(reducers)
         self.sampler = sampler
         self.bias_correction = bias_correction
+        if mass_cache is None:
+            mass_cache = RangeMassCache(
+                {c.name: r for c, r in zip(table.columns, self.reducers)}
+            )
+        self.mass_cache = mass_cache
+        # Constructed SlotConstraint lists per query (keyed by the query's
+        # canonical form). Safe to share across calls: the sampler never
+        # mutates constraint masses, and the reducers this cache encodes
+        # live exactly as long as this object (see class docstring).
+        self._constraint_cache: dict = {}
 
     def estimate(self, query: Query, rng: np.random.Generator | None = None) -> float:
         return float(self.estimate_batch([query], rngs=None if rng is None else [rng])[0])
@@ -85,8 +112,18 @@ class IAMInference:
         from the batch composition; see
         :meth:`~repro.ar.progressive.ProgressiveSampler.sample_weights`.
         """
-        constraints = [
-            build_constraints(self.table, self.reducers, q, self.bias_correction)
-            for q in queries
-        ]
+        constraints = [self._constraints_for(q) for q in queries]
         return self.sampler.estimate_batch(constraints, rngs=rngs)
+
+    def _constraints_for(self, query: Query) -> list[SlotConstraint | None]:
+        key = query.cache_key()
+        slots = self._constraint_cache.get(key)
+        if slots is None:
+            slots = build_constraints(
+                self.table, self.reducers, query, self.bias_correction,
+                mass_cache=self.mass_cache,
+            )
+            if len(self._constraint_cache) >= 4096:
+                self._constraint_cache.clear()  # coarse bound, like RangeMassCache
+            self._constraint_cache[key] = slots
+        return slots

@@ -202,6 +202,14 @@ class IAM:
             raise NotFittedError("IAM used before fit()")
         return self._inference
 
+    def runtime_plan(self):
+        """The compiled :class:`~repro.runtime.plan.MADEPlan` answering
+        queries (None before fit). Rebuilt by ``_refresh_inference`` on
+        every (re)fit, so it always snapshots the current weights."""
+        if self._inference is None:
+            return None
+        return self._inference.sampler.plan
+
     def estimate(self, query: Query) -> float:
         """Estimated selectivity of one conjunctive query."""
         raw = self._require_inference().estimate(query)
@@ -240,7 +248,8 @@ class IAM:
         """
         inference = self._require_inference()
         constraints = build_constraints(
-            self.table, self.reducers, query, self.config.bias_correction
+            self.table, self.reducers, query, self.config.bias_correction,
+            mass_cache=inference.mass_cache,
         )
         estimate, stderr = inference.sampler.estimate_with_error(constraints)
         return clamp_selectivity(estimate, self.table.num_rows), stderr
@@ -261,15 +270,19 @@ class IAM:
         """
         inference = self._require_inference()
         constraints = build_constraints(
-            self.table, self.reducers, query, self.config.bias_correction
+            self.table, self.reducers, query, self.config.bias_correction,
+            mass_cache=inference.mass_cache,
         )
         pooled: list[np.ndarray] = []
         budget = self.config.n_progressive_samples
         total = 0
         seed_stream = ensure_rng(self.config.seed)
+        # Reuse the already compiled plan: each round only needs a fresh
+        # sampler (new budget), not a recompile of the weights.
+        backend = self.runtime_plan() or self.model
         while True:
             sampler = ProgressiveSampler(
-                self.model,
+                backend,
                 n_samples=budget,
                 seed=seed_stream,
                 stratify_first=self.config.stratified_sampling,

@@ -110,7 +110,8 @@ def save_iam(model: IAM, path: str | os.PathLike) -> None:
         "vocab_sizes": model.model.vocab_sizes,
     }
     meta["config"]["hidden_sizes"] = list(meta["config"]["hidden_sizes"])
-    arrays = {f"ar.{k}": v for k, v in model.model.state_dict().items()}
+    # state_arrays(): live views, copied by np.savez while writing.
+    arrays = {f"ar.{k}": v for k, v in model.model.state_arrays().items()}
     np.savez(path, __meta__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8), **arrays)
 
 

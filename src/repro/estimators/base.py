@@ -65,6 +65,17 @@ class Estimator:
         """Serialized model size (for the paper's model-size tables)."""
         raise NotImplementedError  # pragma: no cover - abstract
 
+    def runtime_plan(self):
+        """The compiled inference plan backing this estimator, if any.
+
+        AR-based estimators return the shared read-only
+        :class:`~repro.runtime.plan.MADEPlan` their sampler executes
+        (``None`` before fit); non-neural estimators return ``None``.
+        The serving layer surfaces this in ``describe()`` so operators
+        can see which models run compiled.
+        """
+        return None
+
     # ------------------------------------------------------------------
     @property
     def table(self) -> Table:

@@ -51,3 +51,6 @@ class IAMEstimator(Estimator):
 
     def size_bytes(self) -> int:
         return self._require_model().size_bytes()
+
+    def runtime_plan(self):
+        return None if self.model is None else self.model.runtime_plan()

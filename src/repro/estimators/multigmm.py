@@ -212,3 +212,6 @@ class IAMMultiGMM(Estimator):
         if self.box_mass == "empirical":
             member_bytes = sum(m.size for m in self._member_matrix.values()) * 4
         return self.model.size_bytes() + gmm_bytes + exact_bytes + member_bytes
+
+    def runtime_plan(self):
+        return None if self._sampler is None else self._sampler.plan

@@ -172,3 +172,6 @@ class NaruEstimator(Estimator):
         for handler in self._plan.handlers:
             total += handler.size_bytes()
         return total
+
+    def runtime_plan(self):
+        return None if self._sampler is None else self._sampler.plan

@@ -90,8 +90,34 @@ class Module:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """name → the parameter's *live* ndarray (no copy).
+
+        The single parameter walk behind serialization and plan
+        compilation. Arrays are the module's own storage: mutating one
+        mutates the model, and they go stale if training replaces
+        ``param.data`` — snapshot consumers must copy (see
+        :meth:`export_arrays`).
+        """
+        return {name: param.data for name, param in self.named_parameters()}
+
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """name → read-only view of the parameter's current ndarray.
+
+        For consumers that must not write through to the model (e.g.
+        ``repro.runtime.plan.compile_made``). Views share memory with
+        the parameters, so copy anything that must outlive the next
+        training step.
+        """
+        out = {}
+        for name, data in self.state_arrays().items():
+            view = data.view()
+            view.setflags(write=False)
+            out[name] = view
+        return out
+
     def state_dict(self) -> dict[str, np.ndarray]:
-        return {name: param.data.copy() for name, param in self.named_parameters()}
+        return {name: data.copy() for name, data in self.state_arrays().items()}
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         own = dict(self.named_parameters())

@@ -11,8 +11,9 @@ from repro.nn.module import Module
 
 def save_state_dict(module: Module, path: str | os.PathLike) -> None:
     """Persist a module's parameters to ``path`` (npz)."""
-    state = module.state_dict()
-    np.savez(path, **state)
+    # state_arrays() yields the live arrays; np.savez copies while writing,
+    # so no intermediate state_dict() copy is needed.
+    np.savez(path, **module.state_arrays())
 
 
 def load_state_dict(module: Module, path: str | os.PathLike) -> None:

@@ -1,0 +1,148 @@
+"""Range-mass caching for GMM-reduced columns.
+
+Theorem 5.1 of the paper estimates the per-component range probability
+``P_GMM^k(R_i)`` from ``S`` Monte-Carlo samples drawn **once per
+component** — and :class:`~repro.mixtures.interval.MonteCarloIntervalMass`
+already draws (and sorts) those samples at ``finalise()`` time.  What the
+estimate path still re-pays on every query is the *interval counting*:
+two binary searches per (component, interval), repeated even when the
+workload asks the same predicate bounds over and over (benchmark
+workloads, dashboards, and plan-space exploration all do).
+
+:class:`RangeMassCache` closes that gap with explicit memoization of
+repeated predicate bounds, layered per column:
+
+- level 1 caches single-interval masses ``reducer._interval_mass(lo, hi)``
+  keyed on the exact float bounds;
+- level 2 caches the full union-of-intervals result ``range_mass(R_i)``
+  keyed on the canonical interval tuple (what
+  :meth:`~repro.query.query.ColumnConstraint.cache_key`-style reuse hits).
+
+Results are bitwise identical to calling ``reducer.range_mass`` directly:
+the union is assembled with the same sum-then-clip arithmetic as
+:meth:`repro.reducers.base.DomainReducer.range_mass`.
+
+A cache instance belongs to one fitted model generation: the IAM
+inference layer builds a fresh one on every ``_refresh_inference()``
+(refit, hot reload), so stale masses can never answer for new reducers.
+Cached arrays are returned read-only; callers must not mutate them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+Interval = tuple[float, float]
+
+# Beyond this many distinct entries per column the whole column cache is
+# dropped (coarse but O(1)); real workloads repeat bounds long before it.
+DEFAULT_MAX_ENTRIES_PER_COLUMN = 4096
+
+
+class RangeMassCache:
+    """Memoizes ``P_GMM^k(R_i)`` lookups for a fixed set of reducers.
+
+    One instance per (model generation); ``columns`` maps column name →
+    fitted :class:`~repro.reducers.base.DomainReducer`.  Thread-safety:
+    reads and writes are plain dict operations guarded by the GIL and the
+    serving layer's per-model lock; the cache itself keeps no other
+    shared mutable state.
+    """
+
+    def __init__(self, columns: dict[str, object] | None = None,
+                 max_entries_per_column: int = DEFAULT_MAX_ENTRIES_PER_COLUMN):
+        self._reducers: dict[str, object] = dict(columns or {})
+        self._single: dict[str, dict[Interval, np.ndarray]] = {}
+        self._union: dict[str, dict[tuple[Interval, ...], np.ndarray]] = {}
+        self.max_entries_per_column = max_entries_per_column
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    def add_column(self, name: str, reducer) -> None:
+        """Register (or replace) the reducer answering for ``name``."""
+        previous = self._reducers.get(name)
+        self._reducers[name] = reducer
+        if previous is not None and previous is not reducer:
+            self._single.pop(name, None)
+            self._union.pop(name, None)
+
+    def columns(self) -> list[str]:
+        return sorted(self._reducers)
+
+    # ------------------------------------------------------------------
+    def range_mass(self, column: str, intervals: Sequence[Interval]) -> np.ndarray:
+        """Cached ``reducer.range_mass(intervals)`` for ``column``.
+
+        Bitwise-equal to the uncached call; the returned array is
+        read-only and shared between hits — copy before mutating.
+        """
+        reducer = self._reducers.get(column)
+        if reducer is None:
+            raise KeyError(f"no reducer registered for column {column!r}")
+        key = tuple((float(low), float(high)) for low, high in intervals)
+        union = self._union.setdefault(column, {})
+        cached = union.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+
+        base_impl = (
+            getattr(type(reducer).range_mass, "__qualname__", "")
+            == "DomainReducer.range_mass"
+        )
+        if base_impl:
+            # Reproduce DomainReducer.range_mass arithmetic exactly, but
+            # pull each interval's mass through the level-1 memo.
+            total = np.zeros(reducer.n_tokens)
+            for low, high in key:
+                total += self._interval_mass(column, reducer, low, high)
+            result = np.clip(total, 0.0, 1.0)
+        else:
+            # Reducers with a custom union rule (e.g. NullableReducer)
+            # are memoized whole; decomposing could change their answer.
+            result = np.asarray(reducer.range_mass(list(key)))
+        result.setflags(write=False)
+        if len(union) >= self.max_entries_per_column:
+            union.clear()
+            self.evictions += 1
+        union[key] = result
+        return result
+
+    def _interval_mass(self, column: str, reducer, low: float, high: float) -> np.ndarray:
+        singles = self._single.setdefault(column, {})
+        cached = singles.get((low, high))
+        if cached is not None:
+            return cached
+        mass = np.asarray(reducer._interval_mass(low, high))
+        mass.setflags(write=False)
+        if len(singles) >= self.max_entries_per_column:
+            singles.clear()
+            self.evictions += 1
+        singles[(low, high)] = mass
+        return mass
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every memoized mass (reducers stay registered)."""
+        self._single.clear()
+        self._union.clear()
+        self.version += 1
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / total) if total else 0.0,
+            "evictions": self.evictions,
+            "version": self.version,
+            "columns": len(self._reducers),
+            "entries": sum(len(d) for d in self._union.values())
+            + sum(len(d) for d in self._single.values()),
+        }

@@ -1,0 +1,536 @@
+"""Compiled MADE inference plans.
+
+Training and inference have opposite needs: the training path wants the
+closure-based :class:`~repro.autodiff.tensor.Tensor` graph (gradients,
+mask re-application every step so masked weights never learn), while the
+query path (paper Section 5.2 progressive sampling) is pure inference —
+the same ~D forward passes per query, weights frozen.  This module
+compiles a trained :class:`~repro.ar.made.MADE` into a
+:class:`MADEPlan`: contiguous read-only numpy arrays with the binary
+connectivity masks folded into the weights once (``W * mask`` at compile
+time), per-column output projections pre-sliced, and all scratch memory
+coming from a caller-owned :class:`Workspace` of preallocated buffers.
+
+Numerics contract
+-----------------
+Every plan operation replays the Module path's float operations in the
+same order on the same dtype, so logits — and therefore progressive-
+sampling selectivities — are **bitwise identical** to the
+``nn``/``autodiff`` path (asserted by ``tests/test_runtime.py`` and the
+``repro.bench inference`` experiment).  Compiling with a narrower
+``dtype`` (e.g. ``np.float32``) is supported but is an approximation,
+not a bitwise replay.
+
+Thread-safety contract
+----------------------
+A :class:`MADEPlan` is immutable after compilation (every array is
+marked read-only) and may be shared freely across threads — the serving
+layer compiles one plan per registered model and lets every worker use
+it.  A :class:`Workspace` is mutable scratch state and must NOT be
+shared between concurrent callers; give each thread (or each sampler)
+its own, or pass ``workspace=None`` to fall back to per-call
+allocations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import partial
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.ar.made import MADE
+
+__all__ = ["MADEPlan", "Workspace", "compile_made", "softmax_inplace"]
+
+
+class Workspace:
+    """Preallocated scratch buffers keyed on ``(tag, shape, dtype)``.
+
+    Buffers are created lazily on first request and reused verbatim for
+    every later request with the same key, so a sampler issuing the same
+    batch shape D times per query allocates nothing after warm-up.  Not
+    thread-safe: one workspace per concurrent caller.
+    """
+
+    __slots__ = ("_buffers", "_programs", "_memos")
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple, np.ndarray] = {}
+        # Compiled step lists (see MADEPlan._trunk_program), keyed by
+        # (plan fingerprint, batch). Closures bind the buffers above, so
+        # clearing one without the other would leave dangling aliases.
+        self._programs: dict[tuple, tuple] = {}
+        # Memoised forward results that are pure functions of the plan
+        # weights (see MADEPlan.forward_slice_wildcard): frozen copies,
+        # keyed by (kind, fingerprint, ...).
+        self._memos: dict[tuple, np.ndarray] = {}
+
+    def get(self, tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """Return the reusable buffer for ``(tag, shape, dtype)``.
+
+        Contents are unspecified on entry; callers overwrite fully.
+        """
+        key = (tag, shape, np.dtype(dtype))
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buffer
+        return buffer
+
+    def clear(self) -> None:
+        self._buffers.clear()
+        self._programs.clear()
+        self._memos.clear()
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+
+def softmax_inplace(logits: np.ndarray) -> np.ndarray:
+    """Row softmax, in place, mirroring ``ops.softmax`` numerics exactly.
+
+    Same max-subtraction (with the non-finite guard) and the same
+    ``exp / sum`` division, so the result is bitwise equal to
+    ``ops.softmax(Tensor(logits), axis=-1).numpy()`` — the sampler uses
+    this one implementation for both the plan and the Module backends.
+    """
+    m = logits.max(axis=-1, keepdims=True)
+    if not np.isfinite(m).all():  # rare: all-masked rows produce -inf maxima
+        m = np.where(np.isfinite(m), m, 0.0)
+    np.subtract(logits, m, out=logits)
+    np.exp(logits, out=logits)
+    total = logits.sum(axis=-1, keepdims=True)
+    np.divide(logits, total, out=logits)
+    return logits
+
+
+def _frozen(array: np.ndarray, dtype) -> np.ndarray:
+    """A contiguous read-only copy decoupled from the training weights."""
+    out = np.array(array, dtype=dtype, copy=True, order="C")
+    out.setflags(write=False)
+    return out
+
+
+class MADEPlan:
+    """A trained MADE exported to pure-numpy execution form.
+
+    Built by :func:`compile_made`, never mutated afterwards.  Exposes the
+    sampler-facing surface of :class:`~repro.ar.made.MADE`
+    (``n_columns`` / ``vocab_sizes`` / ``wildcard_ids`` / ``ar_order``)
+    plus two execution entry points:
+
+    - :meth:`forward_logits` — logits for every column at once;
+    - :meth:`forward_slice` — logits for one column only, the shape the
+      progressive sampler needs at step *i* (only that column's slice of
+      the output projection is multiplied).
+    """
+
+    def __init__(
+        self,
+        *,
+        vocab_sizes: list[int],
+        positions: np.ndarray,
+        embed_widths: list[int],
+        embeddings: list[np.ndarray],
+        residual: bool,
+        trunk: list[tuple[np.ndarray, np.ndarray | None]],
+        out_weight: np.ndarray,
+        out_bias: np.ndarray | None,
+        dtype: np.dtype,
+        fingerprint: str,
+    ) -> None:
+        self.vocab_sizes = list(vocab_sizes)
+        self.n_columns = len(self.vocab_sizes)
+        self.positions = positions
+        self.embed_widths = list(embed_widths)
+        self.embeddings = embeddings
+        self.residual = residual
+        self.trunk = trunk
+        self.out_weight = out_weight
+        self.out_bias = out_bias
+        self.dtype = np.dtype(dtype)
+        self.fingerprint = fingerprint
+
+        self.input_width = sum(self.embed_widths)
+        self.hidden_width = out_weight.shape[0]
+        self.wildcard_ids = np.asarray(self.vocab_sizes, dtype=np.int64)
+        self.wildcard_ids.setflags(write=False)
+
+        self._embed_slices: list[slice] = []
+        start = 0
+        for width in self.embed_widths:
+            self._embed_slices.append(slice(start, start + width))
+            start += width
+        self.output_slices: list[slice] = []
+        start = 0
+        for vocab in self.vocab_sizes:
+            self.output_slices.append(slice(start, start + vocab))
+            start += vocab
+        self.total_vocab = start
+        # Per-column contiguous output projections: matches the Module
+        # path, which materialises `(weight * mask)[:, s]` as a fresh
+        # contiguous array on every column_logits call.
+        self._out_weight_cols = []
+        self._out_bias_cols = []
+        for s in self.output_slices:
+            w = np.ascontiguousarray(self.out_weight[:, s])
+            w.setflags(write=False)
+            self._out_weight_cols.append(w)
+            if self.out_bias is None:
+                self._out_bias_cols.append(None)
+            else:
+                b = np.ascontiguousarray(self.out_bias[s])
+                b.setflags(write=False)
+                self._out_bias_cols.append(b)
+        # The column at AR position 0 conditions on nothing: its output
+        # mask zeroes every hidden connection, so its folded projection is
+        # all zeros and its logits are the bias row, independent of the
+        # input. Detected per column at compile time so forward_slice can
+        # skip the whole trunk (h @ 0 + b == b for any finite h).
+        self._const_cols = [not w.any() for w in self._out_weight_cols]
+        self._ar_order: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    def ar_order(self) -> list[int]:
+        """Column indices in sampling order (position 0 first)."""
+        if self._ar_order is None:
+            self._ar_order = [
+                int(c) for c in np.argsort(self.positions, kind="stable")
+            ]
+        return list(self._ar_order)
+
+    def nbytes(self) -> int:
+        """Read-only compiled-weight footprint (excludes workspaces)."""
+        arrays = [self.out_weight, *self.embeddings]
+        if self.out_bias is not None:
+            arrays.append(self.out_bias)
+        for weight, bias in self.trunk:
+            arrays.append(weight)
+            if bias is not None:
+                arrays.append(bias)
+        return sum(a.nbytes for a in arrays)
+
+    # ------------------------------------------------------------------
+    def _check_tokens(self, tokens: np.ndarray) -> np.ndarray:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 2 or tokens.shape[1] != self.n_columns:
+            raise ConfigError(
+                f"tokens must be (batch, {self.n_columns}), got {tokens.shape}"
+            )
+        return tokens
+
+    def _embed(
+        self,
+        tokens: np.ndarray,
+        wildcard_mask: np.ndarray | None,
+        workspace: Workspace,
+    ) -> np.ndarray:
+        batch = len(tokens)
+        x = workspace.get("embed", (batch, self.input_width), self.dtype)
+        for k in range(self.n_columns):
+            ids = tokens[:, k]
+            if wildcard_mask is not None:
+                ids = np.where(wildcard_mask[:, k], self.vocab_sizes[k], ids)
+            x[:, self._embed_slices[k]] = self.embeddings[k][ids]
+        return x
+
+    def _trunk_program(
+        self, workspace: Workspace, batch: int
+    ) -> tuple[list, list, np.ndarray]:
+        """Prebound execution steps for a fixed batch size.
+
+        Returns ``(embeds, steps, h)``: per-column ``(embedding, view)``
+        gather targets, ufunc calls already bound to their workspace
+        buffers (no per-call buffer resolution or branch checks), and the
+        buffer holding the final activations. The steps are exactly the
+        ops :meth:`_hidden` issues, in the same order on the same
+        buffers, so executing them is bitwise-identical — just without
+        re-dispatching the generic interpreter every forward. Cached per
+        ``(fingerprint, batch)`` in the workspace alongside the buffers
+        the closures alias.
+        """
+        key = (self.fingerprint, batch)
+        program = workspace._programs.get(key)
+        if program is not None:
+            return program
+
+        x = workspace.get("embed", (batch, self.input_width), self.dtype)
+        embeds = [
+            (self.embeddings[k], x[:, self._embed_slices[k]])
+            for k in range(self.n_columns)
+        ]
+        steps: list = []
+        if not self.residual:
+            h = x
+            for i, (weight, bias) in enumerate(self.trunk):
+                nxt = workspace.get(f"h{i}", (batch, weight.shape[1]), self.dtype)
+                steps.append(partial(np.matmul, h, weight, out=nxt))
+                if bias is not None:
+                    steps.append(partial(np.add, nxt, bias, out=nxt))
+                steps.append(partial(np.maximum, nxt, 0.0, out=nxt))
+                h = nxt
+        else:
+            (w_in, b_in), *blocks = self.trunk
+            h = workspace.get("h", (batch, self.hidden_width), self.dtype)
+            t = workspace.get("t", (batch, self.hidden_width), self.dtype)
+            a = workspace.get("a", (batch, self.hidden_width), self.dtype)
+            steps.append(partial(np.matmul, x, w_in, out=h))
+            if b_in is not None:
+                steps.append(partial(np.add, h, b_in, out=h))
+            for i in range(0, len(blocks), 2):
+                w1, b1 = blocks[i]
+                w2, b2 = blocks[i + 1]
+                steps.append(partial(np.maximum, h, 0.0, out=t))
+                steps.append(partial(np.matmul, t, w1, out=a))
+                if b1 is not None:
+                    steps.append(partial(np.add, a, b1, out=a))
+                steps.append(partial(np.maximum, a, 0.0, out=a))
+                steps.append(partial(np.matmul, a, w2, out=t))
+                if b2 is not None:
+                    steps.append(partial(np.add, t, b2, out=t))
+                steps.append(partial(np.add, h, t, out=h))
+            steps.append(partial(np.maximum, h, 0.0, out=h))
+        program = (embeds, steps, h)
+        workspace._programs[key] = program
+        return program
+
+    def _hidden(
+        self,
+        tokens: np.ndarray,
+        wildcard_mask: np.ndarray | None,
+        workspace: Workspace,
+    ) -> np.ndarray:
+        """Trunk activations up to (excluding) the output projection."""
+        if wildcard_mask is None:
+            # Hot path (the sampler encodes wildcards in the ids): replay
+            # the identical op sequence from the compiled program.
+            embeds, steps, h = self._trunk_program(workspace, len(tokens))
+            for k, (embedding, view) in enumerate(embeds):
+                view[:] = embedding[tokens[:, k]]
+            for step in steps:
+                step()
+            return h
+        x = self._embed(tokens, wildcard_mask, workspace)
+        batch = len(x)
+        if not self.residual:
+            h = x
+            for i, (weight, bias) in enumerate(self.trunk):
+                nxt = workspace.get(f"h{i}", (batch, weight.shape[1]), self.dtype)
+                np.matmul(h, weight, out=nxt)
+                if bias is not None:
+                    nxt += bias
+                np.maximum(nxt, 0.0, out=nxt)
+                h = nxt
+            return h
+
+        # ResMADE: input layer, then pre-activation residual blocks
+        # (x + W2·relu(W1·relu(x))), then a final relu.
+        (w_in, b_in), *blocks = self.trunk
+        h = workspace.get("h", (batch, self.hidden_width), self.dtype)
+        np.matmul(x, w_in, out=h)
+        if b_in is not None:
+            h += b_in
+        t = workspace.get("t", (batch, self.hidden_width), self.dtype)
+        a = workspace.get("a", (batch, self.hidden_width), self.dtype)
+        for i in range(0, len(blocks), 2):
+            w1, b1 = blocks[i]
+            w2, b2 = blocks[i + 1]
+            np.maximum(h, 0.0, out=t)
+            np.matmul(t, w1, out=a)
+            if b1 is not None:
+                a += b1
+            np.maximum(a, 0.0, out=a)
+            np.matmul(a, w2, out=t)
+            if b2 is not None:
+                t += b2
+            h += t
+        np.maximum(h, 0.0, out=h)
+        return h
+
+    # ------------------------------------------------------------------
+    def forward_logits(
+        self,
+        tokens: np.ndarray,
+        wildcard_mask: np.ndarray | None = None,
+        out: np.ndarray | None = None,
+        workspace: Workspace | None = None,
+    ) -> np.ndarray:
+        """Logits for every column: ``(batch, sum(vocab_sizes))``.
+
+        Column *k*'s block is ``result[:, plan.output_slices[k]]``.  The
+        returned array is the ``out`` argument when given, otherwise a
+        workspace buffer (valid until the next call on that workspace).
+        """
+        tokens = self._check_tokens(tokens)
+        workspace = workspace if workspace is not None else Workspace()
+        h = self._hidden(tokens, wildcard_mask, workspace)
+        if out is None:
+            out = workspace.get("logits", (len(h), self.total_vocab), self.dtype)
+        elif out.shape != (len(h), self.total_vocab):
+            raise ShapeError(
+                f"out has shape {out.shape}, expected {(len(h), self.total_vocab)}"
+            )
+        np.matmul(h, self.out_weight, out=out)
+        if self.out_bias is not None:
+            out += self.out_bias
+        return out
+
+    def forward_slice(
+        self,
+        column: int,
+        tokens: np.ndarray,
+        wildcard_mask: np.ndarray | None = None,
+        out: np.ndarray | None = None,
+        workspace: Workspace | None = None,
+    ) -> np.ndarray:
+        """Logits for ``column`` only: ``(batch, vocab_sizes[column])``.
+
+        Multiplies just that column's pre-sliced output projection — the
+        per-step cost the progressive sampler pays at sampling step *i*.
+        """
+        tokens = self._check_tokens(tokens)
+        workspace = workspace if workspace is not None else Workspace()
+        weight = self._out_weight_cols[column]
+        expected = (len(tokens), weight.shape[1])
+        if out is None:
+            out = workspace.get("slice", expected, self.dtype)
+        elif out.shape != expected:
+            raise ShapeError(f"out has shape {out.shape}, expected {expected}")
+        bias = self._out_bias_cols[column]
+        if self._const_cols[column]:
+            # Bias-only column (AR position 0): no trunk pass needed.
+            out[:] = 0.0 if bias is None else bias
+            return out
+        h = self._hidden(tokens, wildcard_mask, workspace)
+        np.matmul(h, weight, out=out)
+        if bias is not None:
+            out += bias
+        return out
+
+    def forward_slice_wildcard(
+        self, column: int, n_rows: int, workspace: Workspace
+    ) -> np.ndarray:
+        """:meth:`forward_slice` for the all-wildcard context, memoised.
+
+        Before any column has been sampled, every input token is the
+        wildcard id, so the logits are a pure function of the compiled
+        weights — the progressive sampler hits this context once per
+        query (its first constrained column). The first call per
+        ``(column, n_rows)`` runs the ordinary forward and parks a
+        frozen copy in the workspace; later calls replay that copy into
+        the slice buffer, skipping the trunk entirely. Values are
+        bitwise-identical by construction: the cache holds the same
+        forward's own output for the same shape.
+
+        Returns a writable buffer (callers run ``softmax_inplace`` on
+        it), like :meth:`forward_slice`.
+        """
+        key = ("wildcard", self.fingerprint, column, n_rows)
+        cached = workspace._memos.get(key)
+        if cached is None:
+            tokens = np.empty((n_rows, self.n_columns), dtype=np.int64)
+            tokens[:] = self.wildcard_ids
+            out = self.forward_slice(column, tokens, workspace=workspace)
+            cached = out.copy()
+            cached.setflags(write=False)
+            workspace._memos[key] = cached
+            return out
+        out = workspace.get(
+            "slice", (n_rows, self.vocab_sizes[column]), self.dtype
+        )
+        out[:] = cached
+        return out
+
+
+def _layer_arrays(
+    arrays: dict[str, np.ndarray],
+    prefix: str,
+    mask: np.ndarray,
+    dtype,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """(folded weight, bias) for one MaskedLinear exported under ``prefix``."""
+    weight = arrays[f"{prefix}.weight"]
+    if weight.shape != mask.shape:
+        raise ShapeError(
+            f"{prefix}: weight shape {weight.shape} != mask shape {mask.shape}"
+        )
+    folded = _frozen(weight * mask, dtype)
+    bias = arrays.get(f"{prefix}.bias")
+    return folded, None if bias is None else _frozen(bias, dtype)
+
+
+def compile_made(made: "MADE", dtype=None) -> MADEPlan:
+    """Export a trained :class:`~repro.ar.made.MADE` into a :class:`MADEPlan`.
+
+    Masks are folded into the weights once (``W * mask``), embeddings and
+    projections are copied into contiguous read-only arrays, and the
+    per-column output slices are pre-materialised.  The plan is a
+    snapshot: training the module further does not change it — recompile
+    after weight updates (the IAM model does so on every inference
+    refresh, the serving layer on every hot reload).
+
+    ``dtype=None`` keeps the module's native dtype (float64), which is
+    the bitwise-exact mode; a narrower dtype trades exactness for speed.
+    """
+    for attribute in ("vocab_sizes", "positions", "embed_widths", "residual"):
+        if not hasattr(made, attribute):
+            raise ConfigError(
+                f"compile_made expects a MADE-like module, missing {attribute!r}"
+            )
+    arrays = made.export_arrays()
+    dtype = np.dtype(dtype) if dtype is not None else arrays["output_layer.weight"].dtype
+
+    embeddings = [
+        _frozen(arrays[f"embeddings.item{k}.weight"], dtype)
+        for k in range(made.n_columns)
+    ]
+
+    trunk: list[tuple[np.ndarray, np.ndarray | None]] = []
+    if made.residual:
+        trunk.append(
+            _layer_arrays(arrays, "input_layer", made.input_layer.mask, dtype)
+        )
+        for i, block in enumerate(made.blocks):
+            trunk.append(
+                _layer_arrays(arrays, f"blocks.item{i}.linear1", block.linear1.mask, dtype)
+            )
+            trunk.append(
+                _layer_arrays(arrays, f"blocks.item{i}.linear2", block.linear2.mask, dtype)
+            )
+    else:
+        for i, layer in enumerate(made.hidden_layers):
+            trunk.append(
+                _layer_arrays(arrays, f"hidden_layers.item{i}", layer.mask, dtype)
+            )
+    out_weight, out_bias = _layer_arrays(
+        arrays, "output_layer", made.output_layer.mask, dtype
+    )
+
+    digest = hashlib.sha256()
+    digest.update(np.asarray(made.positions, dtype=np.int64).tobytes())
+    for array in (out_weight, *embeddings, *(w for w, _ in trunk)):
+        digest.update(array.tobytes())
+
+    positions = np.asarray(made.positions, dtype=np.int64).copy()
+    positions.setflags(write=False)
+    return MADEPlan(
+        vocab_sizes=list(made.vocab_sizes),
+        positions=positions,
+        embed_widths=list(made.embed_widths),
+        embeddings=embeddings,
+        residual=bool(made.residual),
+        trunk=trunk,
+        out_weight=out_weight,
+        out_bias=out_bias,
+        dtype=dtype,
+        fingerprint=digest.hexdigest()[:16],
+    )

@@ -93,6 +93,9 @@ class ServedModel:
         self.source_mtime = _mtime(source_path)
         self.version = 0
         self.lock = threading.RLock()
+        # Compiled-plan snapshot (read-only, safe to share across
+        # threads); refreshed whenever the estimator is swapped.
+        self.plan = _runtime_plan_of(estimator)
         self.batcher = MicroBatcher(
             self._run_batch,
             max_batch_size=config.max_batch_size,
@@ -116,6 +119,8 @@ class ServedModel:
             "kind": getattr(self.estimator, "name", "unknown"),
             "rows": self.num_rows,
             "version": self.version,
+            "compiled": self.plan is not None,
+            "plan_fingerprint": None if self.plan is None else self.plan.fingerprint,
             "source_path": self.source_path,
             "fallback": getattr(self.fallback, "name", None),
             "batches": stats.batches,
@@ -123,6 +128,13 @@ class ServedModel:
             "largest_batch": stats.largest_batch,
             "mean_batch_size": round(stats.mean_batch_size, 2),
         }
+
+
+def _runtime_plan_of(estimator) -> object | None:
+    """estimator.runtime_plan(), tolerating duck-typed estimators
+    (tests and plugins) that predate the Estimator base method."""
+    getter = getattr(estimator, "runtime_plan", None)
+    return getter() if callable(getter) else None
 
 
 def _mtime(path: str | None) -> float | None:
@@ -201,7 +213,10 @@ class EstimationService:
         Returns True when new weights were swapped in. The swap happens
         under the per-model lock, so in-flight batches finish on the old
         weights and later ones see the new; the bumped version keys the
-        cache, so stale entries can never answer for the new model.
+        cache, so stale entries can never answer for the new model. The
+        old compiled plan is invalidated with the same swap — the fresh
+        estimator arrives with its own plan compiled from the new
+        weights, so no thread can mix old-plan logits with new state.
         """
         model = self._require_model(name)
         if model.source_path is None:
@@ -213,6 +228,7 @@ class EstimationService:
         fresh = _estimator_from_archive(model.source_path, table)
         with model.lock:
             model.estimator = fresh
+            model.plan = _runtime_plan_of(fresh)
             model.source_mtime = current
             model.version += 1
         self.cache.invalidate(lambda key: key[0] == name)

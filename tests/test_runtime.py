@@ -1,0 +1,588 @@
+"""repro.runtime: bitwise equivalence of compiled plans vs the Module path.
+
+The runtime's whole contract is "same floats, fewer allocations": every
+test here that compares the plan path against the ``nn``/``autodiff``
+path asserts *bitwise* equality (``np.array_equal``), not closeness —
+from raw logits through progressive-sampling weights to end-to-end
+``estimate()`` across IAM, Naru-style, and factorized estimators, and
+across a serve hot reload. Plus the RangeMassCache memoization contract.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.ar.made import build_made
+from repro.ar.progressive import ProgressiveSampler, SlotConstraint
+from repro.core.inference import IAMInference, build_constraints
+from repro.core.persistence import save_iam
+from repro.errors import ConfigError, ShapeError
+from repro.estimators.naru import NaruEstimator
+from repro.query.query import Query
+from repro.reducers.base import DomainReducer
+from repro.reducers.identity import IdentityReducer
+from repro.reducers.nullable import NullableReducer
+from repro.runtime import MADEPlan, RangeMassCache, Workspace, compile_made
+from repro.serve import EstimationService, ServeConfig
+from repro.utils.rng import ensure_rng
+
+VOCABS = [8, 5, 12, 3]
+
+
+def make_model(arch: str, seed=7):
+    return build_made(VOCABS, arch=arch, hidden_sizes=(32, 32, 32), seed=seed)
+
+
+def random_inputs(n_rows: int, seed: int, wildcard_p: float = 0.3):
+    rng = np.random.default_rng(seed)
+    tokens = np.column_stack([rng.integers(0, v, size=n_rows) for v in VOCABS])
+    wildcard = rng.random((n_rows, len(VOCABS))) < wildcard_p
+    return tokens, wildcard
+
+
+def module_logits(made, tokens, wildcard):
+    from repro.autodiff.tensor import no_grad
+
+    with no_grad():
+        return made.output_layer(made._hidden(made._embed(tokens, wildcard))).numpy()
+
+
+def module_slice(made, col, tokens, wildcard):
+    from repro.autodiff.tensor import no_grad
+
+    with no_grad():
+        return made.column_logits(col, tokens, wildcard_mask=wildcard).numpy()
+
+
+# ---------------------------------------------------------------------------
+# Plan compilation + raw forward equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestMADEPlan:
+    @pytest.mark.parametrize("arch", ["made", "resmade"])
+    @pytest.mark.parametrize("batch", [1, 7, 64])
+    def test_forward_logits_bitwise(self, arch, batch):
+        made = make_model(arch)
+        plan = compile_made(made)
+        tokens, wildcard = random_inputs(batch, seed=batch)
+        assert np.array_equal(
+            module_logits(made, tokens, wildcard),
+            plan.forward_logits(tokens, wildcard),
+        )
+        # no wildcard mask at all
+        assert np.array_equal(
+            module_logits(made, tokens, None),
+            plan.forward_logits(tokens, None),
+        )
+
+    @pytest.mark.parametrize("arch", ["made", "resmade"])
+    def test_forward_slice_bitwise_per_column(self, arch):
+        made = make_model(arch)
+        plan = compile_made(made)
+        tokens, wildcard = random_inputs(32, seed=1)
+        for col in range(len(VOCABS)):
+            got = plan.forward_slice(col, tokens, wildcard)
+            assert got.shape == (32, VOCABS[col])
+            assert np.array_equal(module_slice(made, col, tokens, wildcard), got)
+
+    def test_metadata_mirrors_module(self):
+        made = make_model("resmade")
+        plan = compile_made(made)
+        assert plan.n_columns == made.n_columns
+        assert plan.vocab_sizes == made.vocab_sizes
+        assert plan.ar_order() == made.ar_order()
+        assert np.array_equal(plan.wildcard_ids, made.wildcard_ids)
+        assert plan.dtype == np.float64
+        assert isinstance(plan.fingerprint, str) and len(plan.fingerprint) == 16
+        assert plan.nbytes() > 0
+
+    def test_plan_is_a_frozen_snapshot(self):
+        made = make_model("resmade")
+        plan = compile_made(made)
+        before = plan.out_weight.copy()
+        # Train-like mutation of the module must not leak into the plan...
+        made.output_layer.weight.data += 1.0
+        assert np.array_equal(plan.out_weight, before)
+        # ...and the plan's arrays reject writes outright.
+        with pytest.raises(ValueError):
+            plan.out_weight[0, 0] = 0.0
+        with pytest.raises(ValueError):
+            plan.embeddings[0][0, 0] = 0.0
+
+    def test_recompile_after_training_changes_fingerprint(self):
+        made = make_model("made")
+        first = compile_made(made).fingerprint
+        made.output_layer.weight.data += 0.25
+        assert compile_made(made).fingerprint != first
+        # Identical weights -> identical fingerprint (content-addressed).
+        made.output_layer.weight.data -= 0.25
+        assert compile_made(made).fingerprint == first
+
+    def test_workspace_buffers_are_reused(self):
+        made = make_model("resmade")
+        plan = compile_made(made)
+        ws = Workspace()
+        tokens, wildcard = random_inputs(16, seed=2)
+        first = plan.forward_slice(1, tokens, wildcard, workspace=ws)
+        buffers = len(ws)
+        second = plan.forward_slice(1, tokens, wildcard, workspace=ws)
+        assert second is first  # same preallocated buffer, no growth
+        assert len(ws) == buffers
+        assert ws.nbytes > 0
+        ws.clear()
+        assert len(ws) == 0
+
+    def test_out_argument_and_shape_validation(self):
+        plan = compile_made(make_model("made"))
+        tokens, wildcard = random_inputs(8, seed=3)
+        out = np.empty((8, sum(VOCABS)))
+        got = plan.forward_logits(tokens, wildcard, out=out)
+        assert got is out
+        with pytest.raises(ShapeError):
+            plan.forward_logits(tokens, wildcard, out=np.empty((8, 3)))
+        with pytest.raises(ShapeError):
+            plan.forward_slice(0, tokens, wildcard, out=np.empty((8, 999)))
+        with pytest.raises(ConfigError):
+            plan.forward_logits(np.zeros((8, 2), dtype=np.int64))
+
+    def test_compile_rejects_non_made(self):
+        with pytest.raises(ConfigError):
+            compile_made(object())
+
+    def test_float32_plan_dtype_threads_through(self):
+        made = make_model("resmade")
+        plan = compile_made(made, dtype=np.float32)
+        assert plan.dtype == np.float32
+        tokens, wildcard = random_inputs(16, seed=4)
+        logits = plan.forward_logits(tokens, wildcard)
+        assert logits.dtype == np.float32
+        np.testing.assert_allclose(
+            logits, module_logits(made, tokens, wildcard), rtol=1e-4, atol=1e-4
+        )
+
+    def test_plan_is_shareable_across_threads(self):
+        plan = compile_made(make_model("resmade"))
+        tokens, wildcard = random_inputs(32, seed=5)
+        reference = plan.forward_logits(tokens, wildcard).copy()
+        results = {}
+
+        def worker(i):
+            ws = Workspace()  # one workspace per thread, per the contract
+            for _ in range(5):
+                out = plan.forward_logits(tokens, wildcard, workspace=ws)
+            results[i] = out.copy()
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for out in results.values():
+            assert np.array_equal(out, reference)
+
+
+# ---------------------------------------------------------------------------
+# Module.export_arrays / state_arrays (weight-export API)
+# ---------------------------------------------------------------------------
+
+
+class TestModuleArrayExport:
+    def test_state_arrays_are_live_views(self):
+        made = make_model("made")
+        arrays = made.state_arrays()
+        assert set(arrays) == {name for name, _ in made.named_parameters()}
+        arrays["output_layer.weight"][0, 0] = 123.0
+        assert made.output_layer.weight.data[0, 0] == 123.0
+
+    def test_export_arrays_are_read_only_views(self):
+        made = make_model("made")
+        arrays = made.export_arrays()
+        with pytest.raises(ValueError):
+            arrays["output_layer.weight"][0, 0] = 1.0
+        # Still a view of the live weights, not a copy.
+        made.output_layer.weight.data[0, 1] = 7.5
+        assert arrays["output_layer.weight"][0, 1] == 7.5
+
+    def test_state_dict_still_copies(self):
+        made = make_model("made")
+        state = made.state_dict()
+        state["output_layer.weight"][0, 0] = -99.0
+        assert made.output_layer.weight.data[0, 0] != -99.0
+
+
+# ---------------------------------------------------------------------------
+# Sampler equivalence: plan backend vs Module backend
+# ---------------------------------------------------------------------------
+
+
+def toy_constraints(wildcard_col: int | None = 1):
+    slots = []
+    for i, v in enumerate(VOCABS):
+        if i == wildcard_col:
+            slots.append(None)
+        else:
+            slots.append(SlotConstraint(mass=(np.arange(v) % 2).astype(np.float64)))
+    return slots
+
+
+class TestSamplerEquivalence:
+    @pytest.mark.parametrize("arch", ["made", "resmade"])
+    @pytest.mark.parametrize("seed", [0, 13])
+    @pytest.mark.parametrize("n_samples", [32, 200])
+    def test_plan_vs_module_bitwise(self, arch, seed, n_samples):
+        made = make_model(arch)
+        queries = [toy_constraints(1), toy_constraints(None), toy_constraints(3)]
+        plan_weights = ProgressiveSampler(
+            made, n_samples=n_samples, seed=seed
+        ).sample_weights(queries)
+        module_weights = ProgressiveSampler(
+            made, n_samples=n_samples, seed=seed, use_plan=False
+        ).sample_weights(queries)
+        assert np.array_equal(plan_weights, module_weights)
+
+    def test_precompiled_plan_accepted_directly(self):
+        made = make_model("resmade")
+        plan = compile_made(made)
+        sampler = ProgressiveSampler(plan, n_samples=64, seed=5)
+        assert sampler.plan is plan and sampler.model is None
+        reference = ProgressiveSampler(made, n_samples=64, seed=5, use_plan=False)
+        assert np.array_equal(
+            sampler.sample_weights([toy_constraints()]),
+            reference.sample_weights([toy_constraints()]),
+        )
+
+    def test_stratified_and_per_query_rngs_bitwise(self):
+        made = make_model("resmade")
+        queries = [toy_constraints(0), toy_constraints(2)]
+        for kwargs in ({"stratify_first": True}, {}):
+            rngs_a = [ensure_rng(101), ensure_rng(202)]
+            rngs_b = [ensure_rng(101), ensure_rng(202)]
+            a = ProgressiveSampler(made, n_samples=64, seed=1, **kwargs).sample_weights(
+                queries, rngs=rngs_a
+            )
+            b = ProgressiveSampler(
+                made, n_samples=64, seed=1, use_plan=False, **kwargs
+            ).sample_weights(queries, rngs=rngs_b)
+            assert np.array_equal(a, b)
+
+    def test_all_wildcard_query(self):
+        made = make_model("made")
+        all_wild = [None] * len(VOCABS)
+        a = ProgressiveSampler(made, n_samples=16, seed=0).sample_weights([all_wild])
+        b = ProgressiveSampler(made, n_samples=16, seed=0, use_plan=False).sample_weights(
+            [all_wild]
+        )
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, np.ones_like(a))
+
+    def test_resolve_mass_dtype_regression(self):
+        """resolve_mass used to hardwire float64; the dtype now threads."""
+        constraint = SlotConstraint(
+            mass=np.array([0.5, 0.25, 1.0], dtype=np.float32),
+            per_sample=lambda tokens: np.ones((len(tokens), 3)),
+        )
+        sampled = np.zeros((4, 2), dtype=np.int64)
+        resolved32 = constraint.resolve_mass(sampled, 3, dtype=np.float32)
+        assert resolved32.dtype == np.float32
+        resolved64 = constraint.resolve_mass(sampled, 3)  # default stays float64
+        assert resolved64.dtype == np.float64
+        np.testing.assert_array_equal(resolved32, resolved64.astype(np.float32))
+
+    def test_float32_sampler_runs_in_float32(self):
+        made = make_model("resmade")
+        plan = compile_made(made, dtype=np.float32)
+        sampler = ProgressiveSampler(plan, n_samples=32, seed=3)
+        assert sampler.dtype == np.float32
+        weights = sampler.sample_weights([toy_constraints()])
+        assert weights.dtype == np.float32
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: IAM estimate() on the plan path
+# ---------------------------------------------------------------------------
+
+
+class TestIAMEndToEnd:
+    def test_fitted_iam_exposes_plan(self, fitted_iam):
+        plan = fitted_iam.runtime_plan()
+        assert isinstance(plan, MADEPlan)
+        assert plan.vocab_sizes == list(fitted_iam.model.vocab_sizes)
+
+    def test_estimates_bitwise_equal_to_module_path(self, fitted_iam, twi_workload):
+        queries = twi_workload.queries[:12]
+        cfg = fitted_iam.config
+        kwargs = dict(
+            n_samples=cfg.n_progressive_samples,
+            stratify_first=cfg.stratified_sampling,
+        )
+        plan_inf = IAMInference(
+            fitted_iam.table,
+            fitted_iam.reducers,
+            ProgressiveSampler(fitted_iam.model, seed=ensure_rng(cfg.seed), **kwargs),
+            bias_correction=cfg.bias_correction,
+        )
+        module_inf = IAMInference(
+            fitted_iam.table,
+            fitted_iam.reducers,
+            ProgressiveSampler(
+                fitted_iam.model, seed=ensure_rng(cfg.seed), use_plan=False, **kwargs
+            ),
+            bias_correction=cfg.bias_correction,
+        )
+        assert plan_inf.sampler.plan is not None
+        assert module_inf.sampler.plan is None
+        assert np.array_equal(
+            plan_inf.estimate_batch(queries), module_inf.estimate_batch(queries)
+        )
+
+    def test_mass_cache_hits_across_repeated_queries(self, fitted_iam, twi_workload):
+        inference = fitted_iam._require_inference()
+        cache = inference.mass_cache
+        query = twi_workload.queries[0]
+        rngs = lambda: [ensure_rng(99)]  # noqa: E731 - tiny local factory
+        first = inference.estimate_batch([query], rngs=rngs())
+        after_first = cache.stats()
+        # Repeats are served from the constraint-list cache: the same
+        # weights come back without a single new range-mass lookup.
+        second = inference.estimate_batch([query], rngs=rngs())
+        assert np.array_equal(first, second)
+        assert cache.stats()["misses"] == after_first["misses"]
+        assert len(inference._constraint_cache) >= 1
+        # Rebuilding the constraints for the same bounds (what a fresh
+        # query reusing a predicate does) hits the mass cache instead of
+        # recomputing the GMM range masses.
+        build_constraints(
+            fitted_iam.table, fitted_iam.reducers, query, mass_cache=cache
+        )
+        assert cache.stats()["hits"] > after_first["hits"]
+
+    def test_adaptive_estimate_reuses_plan(self, fitted_iam, twi_workload):
+        sel, stderr, used = fitted_iam.estimate_adaptive(
+            twi_workload.queries[0], max_samples=fitted_iam.config.n_progressive_samples
+        )
+        assert 0.0 <= sel <= 1.0 and stderr >= 0.0 and used > 0
+
+
+# ---------------------------------------------------------------------------
+# Naru-style + factorized columns
+# ---------------------------------------------------------------------------
+
+
+class TestWildcardContextMemo:
+    @pytest.mark.parametrize("arch", ["made", "resmade"])
+    def test_matches_plain_forward_and_memoizes(self, arch):
+        plan = compile_made(make_model(arch))
+        workspace = Workspace()
+        n_rows = 16
+        tokens = np.empty((n_rows, plan.n_columns), dtype=np.int64)
+        tokens[:] = plan.wildcard_ids
+        for column in plan.ar_order():
+            direct = plan.forward_slice(column, tokens, workspace=Workspace()).copy()
+            first = plan.forward_slice_wildcard(column, n_rows, workspace).copy()
+            assert np.array_equal(first, direct)
+            # Second call replays the memo — corrupt the scratch buffers
+            # first to prove the trunk is not rerun.
+            for buffer in workspace._buffers.values():
+                if buffer.dtype == plan.dtype:
+                    buffer.fill(np.nan)
+            again = plan.forward_slice_wildcard(column, n_rows, workspace)
+            assert np.array_equal(again, direct)
+        assert len(workspace._memos) == plan.n_columns
+
+    def test_sampler_first_column_uses_memo(self):
+        made = make_model("resmade")
+        sampler = ProgressiveSampler(made, n_samples=32, seed=3)
+        constraints = toy_constraints(wildcard_col=None)
+        sampler.estimate_batch([constraints], rngs=[ensure_rng(5)])
+        memo_keys = [k for k in sampler._workspace._memos if k[0] == "wildcard"]
+        # Exactly the first sampled column's context is memoised.
+        assert len(memo_keys) == 1
+        # And the memoised path stays bitwise-equal to the Module backend.
+        module = ProgressiveSampler(made, n_samples=32, seed=3, use_plan=False)
+        a = sampler.estimate_batch([constraints], rngs=[ensure_rng(5)])
+        b = module.estimate_batch([constraints], rngs=[ensure_rng(5)])
+        assert np.array_equal(a, b)
+
+
+class TestNaruFactorizedEquivalence:
+    @pytest.fixture(scope="class")
+    def naru(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 8, 3000)
+        x = np.round(rng.normal(a.astype(float), 0.3), 3)
+        from repro.data.table import Table
+
+        table = Table.from_mapping("corr", {"a": a, "b": a.copy(), "x": x})
+        est = NaruEstimator(
+            epochs=2,
+            hidden_sizes=(24, 24, 24),
+            n_progressive_samples=128,
+            learning_rate=1e-2,
+            factorize_threshold=500,
+            seed=0,
+        ).fit(table)
+        # x (~3000 distinct) factorizes -> per_sample digit constraints.
+        assert len(est._plan.vocab_sizes) == 4
+        return est
+
+    def test_runtime_plan_exposed(self, naru):
+        assert isinstance(naru.runtime_plan(), MADEPlan)
+
+    def test_factorized_estimates_bitwise(self, naru):
+        queries = [
+            Query.from_pairs([("a", "=", 3)]),
+            Query.from_pairs([("x", "<=", float(np.median(naru.table["x"].values)))]),
+            Query.from_pairs([("a", ">=", 2), ("x", ">", 1.0)]),
+        ]
+        constraints = [naru._constraints(q) for q in queries]
+        plan_sampler = ProgressiveSampler(
+            naru.model, n_samples=naru.n_progressive_samples, seed=ensure_rng(naru.seed)
+        )
+        module_sampler = ProgressiveSampler(
+            naru.model,
+            n_samples=naru.n_progressive_samples,
+            seed=ensure_rng(naru.seed),
+            use_plan=False,
+        )
+        assert np.array_equal(
+            plan_sampler.estimate_batch(constraints),
+            module_sampler.estimate_batch(constraints),
+        )
+
+
+# ---------------------------------------------------------------------------
+# RangeMassCache
+# ---------------------------------------------------------------------------
+
+
+class TestRangeMassCache:
+    @pytest.fixture()
+    def reducer(self):
+        reducer = IdentityReducer()
+        reducer.fit(np.arange(10, dtype=np.int64))
+        return reducer
+
+    def test_bitwise_equal_and_memoized(self, reducer):
+        cache = RangeMassCache({"c": reducer})
+        intervals = [(2.0, 5.0), (8.0, 9.0)]
+        direct = reducer.range_mass(intervals)
+        first = cache.range_mass("c", intervals)
+        assert np.array_equal(first, direct)
+        assert cache.hits == 0 and cache.misses == 1
+        second = cache.range_mass("c", intervals)
+        assert second is first  # memoized object, not recomputed
+        assert cache.hits == 1
+        assert not second.flags.writeable
+
+    def test_single_interval_memo_shared_across_unions(self, reducer):
+        cache = RangeMassCache({"c": reducer})
+        cache.range_mass("c", [(2.0, 5.0)])
+        singles = cache._single["c"]
+        assert set(singles) == {(2.0, 5.0)}
+        # A different union reusing the same bound hits the level-1 memo.
+        cache.range_mass("c", [(2.0, 5.0), (7.0, 9.0)])
+        assert set(singles) == {(2.0, 5.0), (7.0, 9.0)}
+
+    def test_custom_range_mass_reducers_memoized_whole(self, reducer):
+        nullable = NullableReducer(reducer)
+        cache = RangeMassCache({"c": nullable})
+        intervals = [(2.0, 5.0)]
+        got = cache.range_mass("c", intervals)
+        assert np.array_equal(got, nullable.range_mass(intervals))
+        assert got[-1] == 0.0  # NULL token mass preserved by the fallback
+        assert cache._single.get("c") is None  # decomposition not used
+        assert cache.range_mass("c", intervals) is got
+
+    def test_invalidate_and_replace_column(self, reducer):
+        cache = RangeMassCache({"c": reducer})
+        cache.range_mass("c", [(0.0, 3.0)])
+        assert cache.stats()["entries"] > 0
+        cache.invalidate()
+        assert cache.stats()["entries"] == 0
+        assert cache.version == 1
+        cache.range_mass("c", [(0.0, 3.0)])
+        # Swapping the reducer for a column drops that column's entries.
+        other = IdentityReducer()
+        other.fit(np.arange(4, dtype=np.int64))
+        cache.add_column("c", other)
+        assert cache.stats()["entries"] == 0
+        assert len(cache.range_mass("c", [(0.0, 3.0)])) == other.n_tokens
+
+    def test_eviction_bounds_memory(self, reducer):
+        cache = RangeMassCache({"c": reducer}, max_entries_per_column=4)
+        for i in range(10):
+            cache.range_mass("c", [(float(i), float(i + 1))])
+        assert cache.evictions > 0
+        assert cache.stats()["entries"] <= 8  # 4 per level
+
+    def test_unknown_column_raises(self, reducer):
+        cache = RangeMassCache({"c": reducer})
+        with pytest.raises(KeyError):
+            cache.range_mass("nope", [(0.0, 1.0)])
+
+    def test_build_constraints_with_cache_matches_direct(self, fitted_iam, twi_workload):
+        table, reducers = fitted_iam.table, fitted_iam.reducers
+        cache = RangeMassCache({c.name: r for c, r in zip(table.columns, reducers)})
+        for query in twi_workload.queries[:8]:
+            direct = build_constraints(table, reducers, query)
+            cached = build_constraints(table, reducers, query, mass_cache=cache)
+            for a, b in zip(direct, cached):
+                assert (a is None) == (b is None)
+                if a is not None:
+                    np.testing.assert_array_equal(np.asarray(a.mass), np.asarray(b.mass))
+
+
+# ---------------------------------------------------------------------------
+# Serving: plans at registration, invalidation on hot reload
+# ---------------------------------------------------------------------------
+
+
+class TestServeRuntimeIntegration:
+    def test_register_captures_plan_and_reload_swaps_it(
+        self, fitted_iam, twi_small, twi_workload, tmp_path
+    ):
+        path = os.fspath(tmp_path / "iam.npz")
+        save_iam(fitted_iam, path)
+        svc = EstimationService(ServeConfig(fallback_estimator=None))
+        try:
+            svc.load_model("twi", path, twi_small)
+            served = svc._require_model("twi")
+            assert isinstance(served.plan, MADEPlan)
+            info = served.describe()
+            assert info["compiled"] is True
+            assert info["plan_fingerprint"] == served.plan.fingerprint
+
+            query = twi_workload.queries[0]
+            before_plan = served.plan
+            before = svc.estimate("twi", query).selectivity
+
+            os.utime(path, (time.time() + 5, time.time() + 5))
+            assert svc.reload("twi") is True
+            assert served.plan is not before_plan  # old plan invalidated
+            # Same archive bits -> same compiled weights -> same fingerprint
+            assert served.plan.fingerprint == before_plan.fingerprint
+            after = svc.estimate("twi", query).selectivity
+            assert after == before  # deterministic serving, bitwise
+            assert svc.estimate_sequential("twi", query) == after
+        finally:
+            svc.close()
+
+    def test_non_neural_estimators_serve_without_plan(self, twi_small, twi_workload):
+        from repro.estimators.registry import build_estimator
+
+        svc = EstimationService(ServeConfig(fallback_estimator=None))
+        try:
+            est = build_estimator("sampling", fraction=0.05, seed=0).fit(twi_small)
+            served = svc.register("s", est)
+            assert served.plan is None
+            info = served.describe()
+            assert info["compiled"] is False and info["plan_fingerprint"] is None
+            svc.estimate("s", twi_workload.queries[0])
+        finally:
+            svc.close()

@@ -401,6 +401,67 @@ class TestEngineMachinery:
         assert set(config.enable) == set(RULES)
 
 
+class TestRuntimeTensorRule:
+    def test_flags_tensor_in_runtime_package(self, tmp_path):
+        write_tree(tmp_path, {
+            "runtime/plan.py": """
+                from repro.autodiff.tensor import Tensor
+
+                def fold(weight, mask):
+                    return Tensor(weight) * Tensor(mask)
+            """,
+        })
+        report = analyze([tmp_path], rules=make_rules(["runtime-tensor-in-inference"]))
+        assert rule_ids(report) == ["runtime-tensor-in-inference"] * 2
+
+    def test_flags_tensor_in_sampler_hot_loop_only(self, tmp_path):
+        write_tree(tmp_path, {
+            "ar/progressive.py": """
+                from repro.autodiff.tensor import Tensor
+
+                class ProgressiveSampler:
+                    def sample_weights(self, queries):
+                        return Tensor([1.0]).numpy()
+
+                    def training_helper(self, x):
+                        return Tensor(x)  # training-side: allowed
+
+                def differentiable_estimate(x):
+                    return Tensor(x)  # training-side: allowed
+            """,
+        })
+        report = analyze([tmp_path], rules=make_rules(["runtime-tensor-in-inference"]))
+        assert rule_ids(report) == ["runtime-tensor-in-inference"]
+        assert report.findings[0].line == 6  # the sample_weights body line
+
+    def test_dotted_construction_flagged_and_non_runtime_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "runtime/gmm.py": """
+                from repro.autodiff import tensor
+
+                def wrap(x):
+                    return tensor.Tensor(x)
+            """,
+            "nn/linear.py": """
+                from repro.autodiff.tensor import Tensor
+
+                def forward(w, x):
+                    return x @ Tensor(w)
+            """,
+        })
+        report = analyze([tmp_path], rules=make_rules(["runtime-tensor-in-inference"]))
+        assert [(f.path, f.rule) for f in report.findings] == [
+            ("runtime/gmm.py", "runtime-tensor-in-inference"),
+        ]
+
+    def test_real_runtime_and_sampler_are_clean(self):
+        report = analyze(
+            [SRC_ROOT / "repro" / "runtime", SRC_ROOT / "repro" / "ar"],
+            rules=make_rules(["runtime-tensor-in-inference"]),
+        )
+        assert report.findings == []
+
+
 # ---------------------------------------------------------------------------
 # Full-tree gate + CLI
 # ---------------------------------------------------------------------------
@@ -456,6 +517,14 @@ ALL_RULES_FIXTURE = {
                 return 0
     """,
     "estimators/registry.py": "ESTIMATORS = {}\n",
+    "runtime/fastpath.py": """
+        import numpy as np
+
+        from repro.autodiff.tensor import Tensor
+
+        def forward(weights, x):
+            return (Tensor(x) @ Tensor(weights)).numpy()
+    """,
 }
 
 
