@@ -573,6 +573,104 @@ class HotLoopRule(FileRule):
 
 
 # ---------------------------------------------------------------------------
+# hot-loop-alloc
+# ---------------------------------------------------------------------------
+
+# Functions (module-level or methods) that run once per training step and
+# therefore must not allocate: the compiled-training executor's entry point
+# and the gradient-clipping helper that every trainer calls per batch.
+HOT_LOOP_FUNCTIONS = frozenset({"clip_grad_norm", "loss_and_grads"})
+_OPTIMIZER_ROOT = "Optimizer"
+_OPTIMIZER_BASES = frozenset({_OPTIMIZER_ROOT, "SGD", "Adam"})
+_INPLACE_ATTRS = frozenset({"data", "grad"})
+
+
+class HotLoopAllocRule(FileRule):
+    """Optimizer steps and training hot loops must update arrays in place.
+
+    ``p.data = p.data - update`` allocates a fresh array every step *and*
+    rebinds the name — breaking the identity contract the compiled
+    training runtime (``repro.runtime.train``) and ``Module.state_arrays``
+    exports rely on: pooled gradient buffers are bound to ``p.grad`` once,
+    and live views of ``p.data`` must keep seeing updates. The fix is
+    augmented assignment (``p.data -= update``, in place for ndarrays) or
+    an explicit ``out=`` kwarg (``np.subtract(p.data, update,
+    out=p.data)``).
+    """
+
+    id = "hot-loop-alloc"
+    severity = Severity.ERROR
+    description = "out-of-place p.data/p.grad rebinding in an optimizer step or training hot loop"
+    # Scope-aware: the engine's flat walk cannot tell which function an
+    # assignment sits in, so the rule does its own subtree scans.
+    node_types = ()
+
+    def finish_file(self, pf: ParsedFile) -> Iterable[Finding]:
+        classes = {
+            stmt.name: stmt for stmt in pf.tree.body if isinstance(stmt, ast.ClassDef)
+        }
+        for stmt in pf.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                is_opt = self._is_optimizer(stmt, classes)
+                for item in stmt.body:
+                    if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        continue
+                    if (is_opt and item.name == "step") or item.name in HOT_LOOP_FUNCTIONS:
+                        yield from self._scan(pf, item, f"{stmt.name}.{item.name}")
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name in HOT_LOOP_FUNCTIONS:
+                    yield from self._scan(pf, stmt, stmt.name)
+
+    @staticmethod
+    def _is_optimizer(stmt: ast.ClassDef, classes: dict[str, ast.ClassDef]) -> bool:
+        """True for Optimizer itself and any (in-file or direct) descendant."""
+        if stmt.name == _OPTIMIZER_ROOT:
+            return True
+        frontier, seen = [stmt], set()
+        while frontier:
+            current = frontier.pop()
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            for base in current.bases:
+                dotted = _dotted_name(base)
+                if dotted is None:
+                    continue
+                name = dotted.split(".")[-1]
+                if name in _OPTIMIZER_BASES:
+                    return True
+                if name in classes:
+                    frontier.append(classes[name])
+        return False
+
+    def _scan(self, pf: ParsedFile, fn: ast.AST, qualname: str) -> Iterable[Finding]:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (isinstance(target, ast.Attribute) and target.attr in _INPLACE_ATTRS):
+                    continue
+                base = _dotted_name(target.value)
+                if base is not None and self._reads(node.value, base, target.attr):
+                    yield self.make_finding(
+                        pf, node,
+                        f"{qualname}: rebinds {base}.{target.attr} to a freshly "
+                        "allocated array every step; update in place instead "
+                        f"(augmented assignment or out={base}.{target.attr}) to "
+                        "keep buffer identity on the training hot path",
+                    )
+
+    @staticmethod
+    def _reads(value: ast.AST, base: str, attr: str) -> bool:
+        return any(
+            isinstance(node, ast.Attribute)
+            and node.attr == attr
+            and _dotted_name(node.value) == base
+            for node in ast.walk(value)
+        )
+
+
+# ---------------------------------------------------------------------------
 # shadowed-export
 # ---------------------------------------------------------------------------
 
@@ -737,6 +835,7 @@ RULES: dict[str, type[Rule]] = {
         MutableDefaultArgRule,
         BareExceptRule,
         HotLoopRule,
+        HotLoopAllocRule,
         ShadowedExportRule,
         RuntimeTensorRule,
     )

@@ -12,6 +12,7 @@ the Naru/Neurocard baseline:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -19,8 +20,9 @@ import numpy as np
 
 from repro.autodiff import ops
 from repro.ar.made import MADE
-from repro.errors import ConfigError
+from repro.errors import CompileError, ConfigError
 from repro.nn.optim import Adam, clip_grad_norm
+from repro.runtime.train import TrainStepExecutor
 from repro.utils.rng import ensure_rng
 
 
@@ -34,12 +36,15 @@ class TrainConfig:
     grad_clip: float = 5.0
     wildcard_probability: float = 0.5  # chance a sample gets any wildcards
     seed: int | None = 0
+    backend: str = "compiled"  # cached-tape executor; 'eager' is the oracle
 
     def __post_init__(self) -> None:
         if self.epochs < 1 or self.batch_size < 1:
             raise ConfigError("epochs and batch_size must be >= 1")
         if not 0.0 <= self.wildcard_probability <= 1.0:
             raise ConfigError("wildcard_probability must be in [0, 1]")
+        if self.backend not in ("compiled", "eager"):
+            raise ConfigError(f"unknown backend {self.backend!r}")
 
 
 def initialize_output_bias(model: MADE, tokens: np.ndarray) -> None:
@@ -91,6 +96,13 @@ class ARTrainer:
         self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
         self._rng = ensure_rng(self.config.seed)
         self.epoch_losses: list[float] = []
+        self.step_seconds: list[float] = []
+        self._executor: TrainStepExecutor | None = None
+        if self.config.backend == "compiled":
+            try:
+                self._executor = TrainStepExecutor(model=model)
+            except CompileError:
+                self._executor = None  # unsupported structure: stay eager
 
     # ------------------------------------------------------------------
     def _batch_loss(self, batch: np.ndarray, wildcard: bool = True):
@@ -116,17 +128,31 @@ class ARTrainer:
         n = len(tokens)
         for epoch in range(self.config.epochs):
             order = self._rng.permutation(n)
-            total, batches = 0.0, 0
+            total, seen = 0.0, 0
             for start in range(0, n, self.config.batch_size):
                 batch = tokens[order[start : start + self.config.batch_size]]
-                loss = self._batch_loss(batch)
-                self.optimizer.zero_grad()
-                loss.backward()
+                began = time.perf_counter()
+                if self._executor is not None:
+                    mask = draw_wildcard_mask(
+                        self._rng, len(batch), self.model.n_columns,
+                        self.config.wildcard_probability,
+                    )
+                    loss_value = self._executor.loss_and_grads(
+                        tokens=batch, wildcard_mask=mask, train_ar=True
+                    )
+                else:
+                    loss = self._batch_loss(batch)
+                    self.optimizer.zero_grad()
+                    loss.backward()
+                    loss_value = loss.item()
                 clip_grad_norm(self.model.parameters(), self.config.grad_clip)
                 self.optimizer.step()
-                total += loss.item()
-                batches += 1
-            epoch_loss = total / max(batches, 1)
+                self.step_seconds.append(time.perf_counter() - began)
+                # Weight by row count so the final partial batch does not
+                # skew the epoch mean.
+                total += loss_value * len(batch)
+                seen += len(batch)
+            epoch_loss = total / max(seen, 1)
             self.epoch_losses.append(epoch_loss)
             if on_epoch_end is not None:
                 on_epoch_end(epoch, epoch_loss)

@@ -143,8 +143,18 @@ class Tensor:
     # ------------------------------------------------------------------
     # Gradient bookkeeping
     # ------------------------------------------------------------------
-    def zero_grad(self) -> None:
-        self.grad = None
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear the gradient.
+
+        ``set_to_none=True`` (default) drops the array so the next
+        backward allocates fresh storage; ``False`` keeps the array and
+        zero-fills it in place, which preserves the buffer identity the
+        compiled training runtime binds to (see ``repro.runtime.train``).
+        """
+        if set_to_none or self.grad is None:
+            self.grad = None
+        else:
+            self.grad.fill(0.0)
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:

@@ -131,6 +131,50 @@ def cmd_inference(args) -> int:
     return 0
 
 
+def cmd_training(args) -> int:
+    """Compiled-training gate: cached-tape executor vs eager, bitwise-checked.
+
+    Writes ``BENCH_training.json`` (steps/sec, p50 step latency, speedup,
+    arena stats, and the equivalence flag) and exits nonzero if the
+    compiled run does not reproduce eager per-epoch losses and final
+    parameters bitwise, or if the steady-state speedup falls under 1.5x —
+    CI runs this with ``--smoke``.
+    """
+    if args.smoke:
+        # Must happen before any driver reads bench_scale() (it is lazy).
+        os.environ["REPRO_BENCH_SCALE"] = "micro"
+    dataset = _single_dataset(args)
+    headers, rows, summary = experiments.training_runtime(dataset)
+    record_table(
+        f"training_runtime_{dataset}", headers, rows,
+        title=f"Compiled training vs eager autodiff on {dataset.upper()} "
+              f"(speedup {summary['speedup_steps_per_sec']:.1f}x, "
+              f"bitwise_equal={summary['bitwise_equal']})",
+    )
+    out = args.output or "BENCH_training.json"
+    with open(out, "w") as fh:
+        json.dump(summary, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+    failed = False
+    if not summary["bitwise_equal"]:
+        print(
+            "ERROR: compiled training diverges from the eager oracle "
+            f"(losses_equal={summary['losses_equal']}, "
+            f"params_equal={summary['params_equal']})",
+            file=sys.stderr,
+        )
+        failed = True
+    if summary["speedup_steps_per_sec"] < 1.5:
+        print(
+            "ERROR: compiled training speedup "
+            f"{summary['speedup_steps_per_sec']:.2f}x is under the 1.5x gate",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "table2": lambda a: cmd_accuracy(a, "wisdm", "table2_wisdm"),
@@ -147,6 +191,7 @@ COMMANDS = {
     "reducers": cmd_reducers,
     "serve": cmd_serve,
     "inference": cmd_inference,
+    "training": cmd_training,
 }
 
 
@@ -160,12 +205,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--dataset", choices=["wisdm", "twi", "higgs"],
                         help="dataset for per-dataset experiments")
     parser.add_argument("--smoke", action="store_true",
-                        help="force the 'micro' scale (CI gate for 'inference')")
+                        help="force the 'micro' scale "
+                             "(CI gate for 'inference' / 'training')")
     parser.add_argument("--queries", type=int, default=None,
                         help="query-count override for 'inference'")
     parser.add_argument("--output", default=None,
-                        help="JSON output path for 'inference' "
-                             "(default BENCH_inference.json)")
+                        help="JSON output path for 'inference' / 'training' "
+                             "(default BENCH_<name>.json)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":

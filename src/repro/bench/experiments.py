@@ -691,6 +691,103 @@ def inference_runtime(dataset: str = "twi", n_queries: int | None = None, repeat
 
 
 # ----------------------------------------------------------------------
+# Runtime: compiled training steps vs the eager autodiff loop
+# ----------------------------------------------------------------------
+def training_runtime(dataset: str = "twi", epochs: int | None = None):
+    """Joint-training throughput of the cached-tape executor vs eager.
+
+    Runs the full ``IAM.fit`` pipeline twice with identical seeds — once
+    per ``train_backend`` — and compares per-epoch losses and every final
+    parameter array bitwise (the same equivalence gate
+    ``BENCH_inference.json`` applies to inference). Throughput is the
+    steady-state steps/sec derived from the median per-step latency, so
+    the one-time tape compile on the first batch of each shape does not
+    skew the ratio (the compile cost is still visible in ``fit_seconds``
+    and ``p95_step_ms``). Epochs are floored at 12 so the median rests on
+    enough steps even at the micro scale (2 epochs = 6 steps there, half
+    of them compile steps — far too few for a stable quantile). The
+    summary dict feeds ``BENCH_training.json``.
+    """
+    from repro.core.model import IAM
+
+    scale = bench_scale()
+    table = get_table(dataset)
+    results: dict[str, dict] = {}
+    for backend in ("eager", "compiled"):
+        config = IAMConfig(
+            epochs=epochs or max(scale.ar_epochs, 12),
+            learning_rate=1e-2,
+            hidden_sizes=scale.ar_hidden,
+            n_components=scale.n_components,
+            n_progressive_samples=scale.progressive_samples,
+            samples_per_component=min(scale.gmm_mc_samples, 2000),
+            train_backend=backend,
+            seed=0,
+        )
+        model = IAM(config)
+        with Timer() as timer:
+            model.fit(table)
+        trainer = model.trainer
+        steps = np.asarray(trainer.step_seconds)
+        state = dict(model.model.state_dict())
+        for column, module in trainer.gmm_modules.items():
+            for name, array in module.state_dict().items():
+                state[f"gmm{column}.{name}"] = array
+        results[backend] = {
+            "fit_seconds": timer.elapsed,
+            "n_steps": len(steps),
+            "p50_step_ms": float(np.percentile(steps, 50) * 1e3),
+            "p95_step_ms": float(np.percentile(steps, 95) * 1e3),
+            "steps_per_sec": 1e3 / max(float(np.percentile(steps, 50) * 1e3), 1e-9),
+            "losses": list(model.epoch_losses),
+            "state": state,
+        }
+        if backend == "compiled":
+            executor = trainer._executor
+            results[backend]["compile_count"] = executor.compile_count
+            results[backend]["arena_allocations"] = executor.arena.allocations
+            results[backend]["arena_mb"] = executor.arena.nbytes / 2**20
+
+    eager, compiled = results["eager"], results["compiled"]
+    losses_equal = eager["losses"] == compiled["losses"]
+    params_equal = all(
+        np.array_equal(eager["state"][k], compiled["state"][k]) for k in eager["state"]
+    )
+    bitwise_equal = bool(losses_equal and params_equal)
+    speedup = compiled["steps_per_sec"] / max(eager["steps_per_sec"], 1e-9)
+
+    headers = ["Backend", "steps/s", "p50 ms/step", "p95 ms/step", "fit (s)"]
+    rows = [
+        [
+            label,
+            round(results[label]["steps_per_sec"], 1),
+            round(results[label]["p50_step_ms"], 3),
+            round(results[label]["p95_step_ms"], 3),
+            round(results[label]["fit_seconds"], 2),
+        ]
+        for label in ("eager", "compiled")
+    ]
+    summary = {
+        "experiment": "training_runtime",
+        "dataset": dataset,
+        "scale": scale.name,
+        "n_steps": compiled["n_steps"],
+        "steps_per_sec": {k: results[k]["steps_per_sec"] for k in results},
+        "p50_step_ms": {k: results[k]["p50_step_ms"] for k in results},
+        "p95_step_ms": {k: results[k]["p95_step_ms"] for k in results},
+        "fit_seconds": {k: results[k]["fit_seconds"] for k in results},
+        "speedup_steps_per_sec": float(speedup),
+        "compile_count": compiled["compile_count"],
+        "arena_allocations": compiled["arena_allocations"],
+        "arena_mb": compiled["arena_mb"],
+        "losses_equal": bool(losses_equal),
+        "params_equal": bool(params_equal),
+        "bitwise_equal": bitwise_equal,
+    }
+    return headers, rows, summary
+
+
+# ----------------------------------------------------------------------
 # Ablations (DESIGN.md Section 6)
 # ----------------------------------------------------------------------
 def ablation_table(dataset: str, variants: dict[str, dict]):

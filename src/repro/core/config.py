@@ -34,6 +34,11 @@ class IAMConfig:
     joint_training:
         True = the paper's end-to-end joint loop; False = the "Separate
         Training" strawman of Section 4.3 (GMMs first, then the AR model).
+    train_backend:
+        'compiled' (default) runs mini-batches through the cached-tape
+        executor in ``repro.runtime.train``; 'eager' records the autodiff
+        graph every step. Both are bitwise-identical under a fixed seed —
+        eager is the correctness oracle (see docs/training_runtime.md).
 
     Inference knobs
     ---------------
@@ -65,6 +70,7 @@ class IAMConfig:
     grad_clip: float = 5.0
     wildcard_probability: float = 0.5
     joint_training: bool = True
+    train_backend: str = "compiled"
 
     # inference
     n_progressive_samples: int = 512
@@ -91,4 +97,6 @@ class IAMConfig:
             raise ConfigError("epochs, batch_size, n_progressive_samples must be >= 1")
         if not 0.0 <= self.wildcard_probability <= 1.0:
             raise ConfigError("wildcard_probability must be in [0, 1]")
+        if self.train_backend not in ("compiled", "eager"):
+            raise ConfigError(f"unknown train_backend {self.train_backend!r}")
         self.hidden_sizes = tuple(self.hidden_sizes)

@@ -55,6 +55,7 @@ class IAM:
         self.model: MADE | None = None
         self._inference: IAMInference | None = None
         self.epoch_losses: list[float] = []
+        self.trainer: JointTrainer | None = None
 
     # ------------------------------------------------------------------
     # Column planning
@@ -144,6 +145,7 @@ class IAM:
         )
 
         trainer = JointTrainer(self.model, gmm_modules, raw_columns, static_tokens, cfg)
+        self.trainer = trainer  # kept for training telemetry (repro.bench)
 
         callback = None
         if on_epoch_end is not None:

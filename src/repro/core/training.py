@@ -21,6 +21,7 @@ tokens.
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 import numpy as np
@@ -28,8 +29,10 @@ import numpy as np
 from repro.ar.made import MADE
 from repro.ar.train import draw_wildcard_mask, initialize_output_bias
 from repro.core.config import IAMConfig
+from repro.errors import CompileError
 from repro.mixtures.sgd_gmm import SGDGaussianMixture
 from repro.nn.optim import Adam, clip_grad_norm
+from repro.runtime.train import TrainStepExecutor
 from repro.utils.rng import ensure_rng
 
 
@@ -67,6 +70,15 @@ class JointTrainer:
         gmm_params = [p for m in gmm_modules.values() for p in m.parameters()]
         self.gmm_optimizer = Adam(gmm_params, lr=config.gmm_learning_rate) if gmm_params else None
         self.epoch_losses: list[float] = []
+        self.step_seconds: list[float] = []
+        self._executor: TrainStepExecutor | None = None
+        if config.train_backend == "compiled":
+            try:
+                self._executor = TrainStepExecutor(
+                    model=model, gmm_modules=gmm_modules, raw_columns=raw_columns
+                )
+            except CompileError:
+                self._executor = None  # unsupported structure: stay eager
 
     # ------------------------------------------------------------------
     def _assign_tokens(self, rows: np.ndarray) -> np.ndarray:
@@ -96,6 +108,52 @@ class JointTrainer:
             loss = ar_loss if loss is None else loss + ar_loss
         return loss
 
+    def _eager_step(self, rows: np.ndarray, train_gmms: bool, train_ar: bool) -> float | None:
+        """One recorded-graph step: loss, backward, clip, optimizer(s)."""
+        loss = self._batch_loss(rows, train_gmms, train_ar)
+        if loss is None:
+            return None
+        if train_ar:
+            self.ar_optimizer.zero_grad()
+        if train_gmms and self.gmm_optimizer is not None:
+            self.gmm_optimizer.zero_grad()
+        loss.backward()
+        self._apply_updates(train_gmms, train_ar)
+        return loss.item()
+
+    def _compiled_step(self, rows: np.ndarray, train_gmms: bool, train_ar: bool) -> float | None:
+        """One cached-tape step through :class:`TrainStepExecutor`.
+
+        Token assignment and the wildcard mask are drawn *before* the
+        executor runs, in the same order as the eager path, so both
+        backends consume identical RNG streams.
+        """
+        tokens = mask = None
+        if train_ar:
+            tokens = self._assign_tokens(rows)
+            mask = draw_wildcard_mask(
+                self._rng, len(rows), self.model.n_columns, self.config.wildcard_probability
+            )
+        loss = self._executor.loss_and_grads(
+            rows=rows,
+            tokens=tokens,
+            wildcard_mask=mask,
+            train_gmms=train_gmms,
+            train_ar=train_ar,
+        )
+        if loss is None:
+            return None
+        self._apply_updates(train_gmms, train_ar)
+        return loss
+
+    def _apply_updates(self, train_gmms: bool, train_ar: bool) -> None:
+        if train_ar:
+            clip_grad_norm(self.ar_optimizer.parameters, self.config.grad_clip)
+            self.ar_optimizer.step()
+        if train_gmms and self.gmm_optimizer is not None:
+            clip_grad_norm(self.gmm_optimizer.parameters, self.config.grad_clip)
+            self.gmm_optimizer.step()
+
     def _run_epochs(
         self,
         epochs: int,
@@ -107,26 +165,22 @@ class JointTrainer:
         n = len(self.static_tokens)
         for epoch in range(epochs):
             order = self._rng.permutation(n)
-            total, batches = 0.0, 0
+            total, seen = 0.0, 0
             for start in range(0, n, self.config.batch_size):
                 rows = order[start : start + self.config.batch_size]
-                loss = self._batch_loss(rows, train_gmms, train_ar)
-                if loss is None:
+                began = time.perf_counter()
+                if self._executor is not None:
+                    loss_value = self._compiled_step(rows, train_gmms, train_ar)
+                else:
+                    loss_value = self._eager_step(rows, train_gmms, train_ar)
+                if loss_value is None:
                     continue
-                if train_ar:
-                    self.ar_optimizer.zero_grad()
-                if train_gmms and self.gmm_optimizer is not None:
-                    self.gmm_optimizer.zero_grad()
-                loss.backward()
-                if train_ar:
-                    clip_grad_norm(self.ar_optimizer.parameters, self.config.grad_clip)
-                    self.ar_optimizer.step()
-                if train_gmms and self.gmm_optimizer is not None:
-                    clip_grad_norm(self.gmm_optimizer.parameters, self.config.grad_clip)
-                    self.gmm_optimizer.step()
-                total += loss.item()
-                batches += 1
-            epoch_loss = total / max(batches, 1)
+                self.step_seconds.append(time.perf_counter() - began)
+                # Weight by row count: the final partial batch must not
+                # count as much as a full one in the epoch mean.
+                total += loss_value * len(rows)
+                seen += len(rows)
+            epoch_loss = total / max(seen, 1)
             self.epoch_losses.append(epoch_loss)
             if on_epoch_end is not None:
                 on_epoch_end(epoch_offset + epoch, epoch_loss)

@@ -44,3 +44,7 @@ class UnknownModelError(ServeError):
 
 class EstimateTimeoutError(ServeError):
     """A served estimate missed its deadline (fallback may apply)."""
+
+
+class CompileError(ReproError):
+    """A model could not be compiled for the runtime executors."""

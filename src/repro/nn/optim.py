@@ -2,6 +2,18 @@
 
 Adam follows Kingma & Ba (the optimizer the paper uses, its reference
 [27]) with bias-corrected first/second moments.
+
+All updates are applied **in place**: ``p.data`` and ``p.grad`` keep
+their array identity across steps. That contract is load-bearing —
+``nn.Module.state_arrays()`` exports stay live across training, and the
+compiled training runtime (``repro.runtime.train``) binds its pooled
+gradient buffers to ``p.grad`` once and relies on the optimizer never
+rebinding either array. Scratch buffers are allocated lazily on the
+first step and reused, so a steady-state step allocates nothing.
+
+The update arithmetic intentionally replays the textbook formulas op
+for op (same order, same temporaries) so the in-place rewrite is
+bitwise-identical to the allocating version it replaced.
 """
 
 from __future__ import annotations
@@ -15,7 +27,9 @@ from repro.nn.module import Parameter
 def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is <= max_norm.
 
-    Returns the pre-clipping norm.
+    Returns the pre-clipping norm. The scaling writes through ``p.grad``
+    (``p.grad *= scale``) rather than rebinding it, so buffers pooled by
+    the compiled training runtime keep their identity.
     """
     grads = [p.grad for p in parameters if p.grad is not None]
     if not grads:
@@ -23,9 +37,8 @@ def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
     total = float(np.sqrt(sum(float((g**2).sum()) for g in grads)))
     if total > max_norm and total > 0:
         scale = max_norm / total
-        for p in parameters:
-            if p.grad is not None:
-                p.grad = p.grad * scale
+        for g in grads:
+            np.multiply(g, scale, out=g)
     return total
 
 
@@ -38,9 +51,9 @@ class Optimizer:
         self.parameters = list(parameters)
         self.lr = lr
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_none: bool = True) -> None:
         for p in self.parameters:
-            p.zero_grad()
+            p.zero_grad(set_to_none=set_to_none)
 
     def step(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -55,17 +68,22 @@ class SGD(Optimizer):
             raise ConfigError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch: list[np.ndarray | None] = [None] * len(self.parameters)
 
     def step(self) -> None:
-        for p, v in zip(self.parameters, self._velocity):
+        for i, (p, v) in enumerate(zip(self.parameters, self._velocity)):
             if p.grad is None:
                 continue
+            buf = self._scratch[i]
+            if buf is None:
+                buf = self._scratch[i] = np.empty_like(p.data)
             if self.momentum > 0:
                 v *= self.momentum
                 v += p.grad
-                p.data = p.data - self.lr * v
+                np.multiply(v, self.lr, out=buf)
             else:
-                p.data = p.data - self.lr * p.grad
+                np.multiply(p.grad, self.lr, out=buf)
+            p.data -= buf
 
 
 class Adam(Optimizer):
@@ -88,23 +106,37 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch: list[tuple[np.ndarray, np.ndarray] | None] = [None] * len(
+            self.parameters
+        )
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
-        for p, m, v in zip(self.parameters, self._m, self._v):
+        for i, (p, m, v) in enumerate(zip(self.parameters, self._m, self._v)):
             if p.grad is None:
                 continue
+            pair = self._scratch[i]
+            if pair is None:
+                pair = self._scratch[i] = (np.empty_like(p.data), np.empty_like(p.data))
+            num, den = pair
             grad = p.grad
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=num)
+            m += num
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad**2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            np.power(grad, 2, out=den)
+            den *= 1.0 - self.beta2
+            v += den
+            np.divide(m, bias1, out=num)  # m_hat
+            np.divide(v, bias2, out=den)  # v_hat
+            np.sqrt(den, out=den)
+            den += self.eps
+            np.divide(num, den, out=num)  # the bias-corrected update
             if self.weight_decay > 0:
-                update = update + self.weight_decay * p.data
-            p.data = p.data - self.lr * update
+                np.multiply(p.data, self.weight_decay, out=den)
+                num += den
+            num *= self.lr
+            p.data -= num

@@ -10,6 +10,11 @@ pure-numpy execution form for the query path:
   :class:`~repro.runtime.plan.Workspace` of reusable scratch buffers;
 - :class:`~repro.runtime.gmm.RangeMassCache` — memoized
   ``P_GMM^k(R_i)`` range masses across queries.
+- :class:`~repro.runtime.train.TrainStepExecutor` — the *training*
+  counterpart: cached forward/backward tapes, a pooled buffer
+  :class:`~repro.runtime.train.Arena`, and fused kernels for the
+  Equation-6 loss, bitwise-equivalent to the eager autodiff path (see
+  ``docs/training_runtime.md``).
 
 The split is machine-enforced: the ``runtime-tensor-in-inference``
 iamlint rule forbids ``autodiff.Tensor`` construction anywhere in this
@@ -19,10 +24,20 @@ package (and in the progressive sampler's hot loop).  See
 
 from repro.runtime.gmm import RangeMassCache
 from repro.runtime.plan import MADEPlan, Workspace, compile_made, softmax_inplace
+from repro.runtime.train import (
+    Arena,
+    CompiledGMMLoss,
+    CompiledMADELoss,
+    TrainStepExecutor,
+)
 
 __all__ = [
+    "Arena",
+    "CompiledGMMLoss",
+    "CompiledMADELoss",
     "MADEPlan",
     "RangeMassCache",
+    "TrainStepExecutor",
     "Workspace",
     "compile_made",
     "softmax_inplace",

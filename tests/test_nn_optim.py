@@ -96,6 +96,56 @@ class TestClipGradNorm:
         assert nn.clip_grad_norm([nn.Parameter(np.zeros(1))], 1.0) == 0.0
 
 
+class TestInPlaceContracts:
+    """The compiled training runtime pools gradient buffers and exports
+    live ``p.data`` views; both rely on the optimizer and the clipper
+    never rebinding either array (see the hot-loop-alloc lint rule)."""
+
+    @pytest.mark.parametrize("make_opt", [
+        lambda p: nn.SGD([p], lr=0.1),
+        lambda p: nn.SGD([p], lr=0.1, momentum=0.9),
+        lambda p: nn.Adam([p], lr=0.1),
+        lambda p: nn.Adam([p], lr=0.1, weight_decay=0.1),
+    ])
+    def test_step_preserves_data_identity(self, make_opt):
+        p = nn.Parameter(np.ones(8))
+        opt = make_opt(p)
+        data_id = id(p.data)
+        for _ in range(3):
+            p.grad = np.full(8, 0.5)
+            opt.step()
+        assert id(p.data) == data_id
+        assert p.data[0] != 1.0  # the update really landed
+
+    def test_clip_preserves_grad_identity(self):
+        p = nn.Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        grad_id = id(p.grad)
+        nn.clip_grad_norm([p], max_norm=1.0)
+        assert id(p.grad) == grad_id
+
+    def test_zero_grad_set_to_none_default(self):
+        p = nn.Parameter(np.zeros(3))
+        p.grad = np.ones(3)
+        opt = nn.SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_zero_grad_fill_keeps_identity(self):
+        p = nn.Parameter(np.zeros(3))
+        p.grad = np.ones(3)
+        grad_id = id(p.grad)
+        opt = nn.SGD([p], lr=0.1)
+        opt.zero_grad(set_to_none=False)
+        assert id(p.grad) == grad_id
+        np.testing.assert_array_equal(p.grad, np.zeros(3))
+
+    def test_zero_grad_fill_tolerates_missing_grad(self):
+        p = nn.Parameter(np.zeros(3))
+        nn.SGD([p], lr=0.1).zero_grad(set_to_none=False)
+        assert p.grad is None
+
+
 class TestSchedulers:
     def test_constant(self):
         opt = nn.SGD([nn.Parameter(np.zeros(1))], lr=0.5)

@@ -401,6 +401,77 @@ class TestEngineMachinery:
         assert set(config.enable) == set(RULES)
 
 
+class TestHotLoopAllocRule:
+    def test_flags_rebinding_in_optimizer_step_and_hot_functions(self, tmp_path):
+        write_tree(tmp_path, {
+            "nn/optim.py": """
+                class Optimizer:
+                    def __init__(self, parameters, lr):
+                        self.parameters = parameters
+                        self.lr = lr
+
+                    def step(self):
+                        raise NotImplementedError
+
+                class SGD(Optimizer):
+                    def step(self):
+                        for p in self.parameters:
+                            p.data = p.data - self.lr * p.grad
+
+                class Nesterov(SGD):
+                    def step(self):
+                        for p in self.parameters:
+                            p.grad = p.grad * 0.9
+
+
+                def clip_grad_norm(parameters, max_norm):
+                    for p in parameters:
+                        p.grad = p.grad * 0.5
+            """,
+        })
+        report = analyze([tmp_path], rules=make_rules(["hot-loop-alloc"]))
+        assert rule_ids(report) == ["hot-loop-alloc"] * 3
+        messages = {f.message for f in report.findings}
+        assert any("SGD.step" in m and "p.data" in m for m in messages)
+        assert any("Nesterov.step" in m for m in messages)
+        assert any("clip_grad_norm" in m for m in messages)
+
+    def test_in_place_updates_and_cold_paths_are_clean(self, tmp_path):
+        write_tree(tmp_path, {
+            "nn/optim.py": """
+                import numpy as np
+
+                class Optimizer:
+                    def step(self):
+                        raise NotImplementedError
+
+                class Adam(Optimizer):
+                    def step(self):
+                        for p in self.parameters:
+                            np.subtract(p.data, p.grad, out=p.data)
+                            p.data -= p.grad
+                            p.grad = None
+
+                class Executor:
+                    def loss_and_grads(self, rows):
+                        for p in self.params:
+                            p.grad = self.buffer_for(p)
+                        return 0.0
+
+                def rebuild(p):
+                    # Not a registered hot loop: rebinding is allowed here.
+                    p.data = p.data.copy()
+                    return p
+            """,
+        })
+        report = analyze([tmp_path], rules=make_rules(["hot-loop-alloc"]))
+        assert report.findings == []
+
+    def test_real_tree_optimizers_are_in_place(self):
+        report = analyze([SRC_ROOT / "repro"], rules=make_rules(["hot-loop-alloc"]))
+        assert report.findings == []
+
+
 class TestRuntimeTensorRule:
     def test_flags_tensor_in_runtime_package(self, tmp_path):
         write_tree(tmp_path, {
@@ -500,6 +571,16 @@ ALL_RULES_FIXTURE = {
 
         def oops(x):
             return Tensor(np.exp(x.data))
+    """,
+    "nn/optim.py": """
+        class Optimizer:
+            def step(self):
+                raise NotImplementedError
+
+        class SGD(Optimizer):
+            def step(self):
+                for p in self.parameters:
+                    p.data = p.data - self.lr * p.grad
     """,
     "estimators/unregistered.py": """
         from repro.estimators.base import Estimator
