@@ -3,7 +3,11 @@
 An AST-based rule engine with project-specific rules that guard the
 reproduction's correctness invariants: seeded RNG plumbing, autodiff
 backward coverage, the estimator registry contract, dtype uniformity,
-and a handful of general Python hygiene checks.
+a handful of general Python hygiene checks, and a concurrency suite
+(guarded-by inference, lock-order cycles, plan immutability) backed by
+a symbol table, call graph, CFG, and reaching-definitions dataflow.
+:mod:`repro.analysis.sanitizer` adds the dynamic half: an Eraser-style
+lockset race detector installable on live serve objects.
 
 Run it with ``python -m repro.analysis src/`` or the ``repro-lint``
 console script; see ``docs/static_analysis.md`` for the rule catalog,
@@ -25,24 +29,34 @@ from repro.analysis.rules import (
     default_rules,
     grad_coverage_inventory,
     make_rules,
+    rules_in_category,
 )
+from repro.analysis.sanitizer import LocksetSanitizer, TrackedLock, install, track
+from repro.analysis.symbols import ProjectModel, build_project_model
 
 __all__ = [
     "AnalysisConfig",
     "FileRule",
     "Finding",
+    "LocksetSanitizer",
+    "ProjectModel",
     "ProjectRule",
     "Report",
     "RULES",
     "Rule",
     "Severity",
+    "TrackedLock",
     "analyze",
+    "build_project_model",
     "collect_files",
     "default_rules",
     "grad_coverage_inventory",
+    "install",
     "load_baseline",
     "load_config",
     "make_rules",
     "parse_file",
+    "rules_in_category",
+    "track",
     "write_baseline",
 ]

@@ -1,0 +1,182 @@
+"""Intra-procedural control-flow graphs over function ASTs.
+
+:func:`build_cfg` lowers one ``ast.FunctionDef`` into basic blocks of
+*elements* — simple statements plus the header nodes of compound
+statements (an ``if``/``while``/``for`` header stands for the evaluation
+of its test or iterable) — connected by successor edges.  The graph is
+deliberately coarse where precision buys nothing for the analyses built
+on it (``with`` bodies run inline, ``try`` handlers are reachable from
+anywhere in the guarded body), but loops, branches, ``break`` /
+``continue`` / ``return`` / ``raise`` are modelled exactly, which is
+what :mod:`repro.analysis.dataflow` needs for reaching definitions.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+# Compound statements whose headers become block elements; their bodies
+# are lowered recursively.  Everything else is a simple statement.
+_COMPOUND = (
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+    ast.Match,
+)
+
+
+@dataclass
+class Block:
+    """One basic block: a straight-line run of elements."""
+
+    id: int
+    elements: list[ast.AST] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+
+class CFG:
+    """Control-flow graph of a single function."""
+
+    def __init__(self, fn: FunctionNode):
+        self.fn = fn
+        self.blocks: list[Block] = []
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        # element identity -> (block id, index inside block); lets a
+        # client ask "what reaches this statement" without re-walking.
+        self.location: dict[int, tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    def _new_block(self) -> int:
+        block = Block(id=len(self.blocks))
+        self.blocks.append(block)
+        return block.id
+
+    def _add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    def _place(self, block: int, node: ast.AST) -> None:
+        self.location[id(node)] = (block, len(self.blocks[block].elements))
+        self.blocks[block].elements.append(node)
+
+
+class _Builder:
+    """Recursive statement-list lowering with loop/exit continuations."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        # (header block, after block) per enclosing loop, innermost last.
+        self.loops: list[tuple[int, int]] = []
+
+    def build(self) -> None:
+        body_end = self.lower_body(self.cfg.fn.body, self.cfg.entry)
+        self.cfg._add_edge(body_end, self.cfg.exit)
+
+    # ------------------------------------------------------------------
+    def lower_body(self, stmts: list[ast.stmt], current: int) -> int:
+        for stmt in stmts:
+            current = self.lower_stmt(stmt, current)
+        return current
+
+    def lower_stmt(self, stmt: ast.stmt, current: int) -> int:
+        cfg = self.cfg
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cfg._place(current, stmt)
+            cfg._add_edge(current, cfg.exit)
+            return cfg._new_block()  # unreachable continuation
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            cfg._place(current, stmt)
+            if self.loops:
+                header, after = self.loops[-1]
+                cfg._add_edge(current, after if isinstance(stmt, ast.Break) else header)
+            else:  # malformed code; degrade to fallthrough
+                cfg._add_edge(current, cfg.exit)
+            return cfg._new_block()
+        if isinstance(stmt, ast.If):
+            cfg._place(current, stmt)
+            join = cfg._new_block()
+            then_block = cfg._new_block()
+            cfg._add_edge(current, then_block)
+            cfg._add_edge(self.lower_body(stmt.body, then_block), join)
+            if stmt.orelse:
+                else_block = cfg._new_block()
+                cfg._add_edge(current, else_block)
+                cfg._add_edge(self.lower_body(stmt.orelse, else_block), join)
+            else:
+                cfg._add_edge(current, join)
+            return join
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = cfg._new_block()
+            cfg._add_edge(current, header)
+            cfg._place(header, stmt)
+            after = cfg._new_block()
+            body = cfg._new_block()
+            cfg._add_edge(header, body)
+            cfg._add_edge(header, after)
+            self.loops.append((header, after))
+            cfg._add_edge(self.lower_body(stmt.body, body), header)
+            self.loops.pop()
+            if stmt.orelse:
+                # `else` runs on normal loop exit; model as header->else->after.
+                else_block = cfg._new_block()
+                cfg._add_edge(header, else_block)
+                cfg._add_edge(self.lower_body(stmt.orelse, else_block), after)
+            return after
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # `with` does not branch on the success path; the header
+            # (context-manager expressions + `as` bindings) joins the
+            # current block and the body runs inline.
+            cfg._place(current, stmt)
+            return self.lower_body(stmt.body, current)
+        if isinstance(stmt, ast.Try):
+            cfg._place(current, stmt)
+            body_start = cfg._new_block()
+            cfg._add_edge(current, body_start)
+            body_end = self.lower_body(stmt.body, body_start)
+            after = cfg._new_block()
+            ends = [self.lower_body(stmt.orelse, body_end) if stmt.orelse else body_end]
+            for handler in stmt.handlers:
+                h_block = cfg._new_block()
+                # Conservative: an exception may fire before any body
+                # statement ran, or after all of them.
+                cfg._add_edge(current, h_block)
+                cfg._add_edge(body_end, h_block)
+                ends.append(self.lower_body(handler.body, h_block))
+            if stmt.finalbody:
+                final_start = cfg._new_block()
+                for end in ends:
+                    cfg._add_edge(end, final_start)
+                cfg._add_edge(self.lower_body(stmt.finalbody, final_start), after)
+            else:
+                for end in ends:
+                    cfg._add_edge(end, after)
+            return after
+        if isinstance(stmt, ast.Match):
+            cfg._place(current, stmt)
+            after = cfg._new_block()
+            cfg._add_edge(current, after)  # no case may match
+            for case in stmt.cases:
+                c_block = cfg._new_block()
+                cfg._add_edge(current, c_block)
+                cfg._add_edge(self.lower_body(case.body, c_block), after)
+            return after
+        # Simple statement (assignments, expressions, nested defs, ...).
+        cfg._place(current, stmt)
+        return current
+
+
+def build_cfg(fn: FunctionNode) -> CFG:
+    """Lower ``fn``'s body (not nested functions) into a :class:`CFG`."""
+    cfg = CFG(fn)
+    _Builder(cfg).build()
+    return cfg

@@ -7,15 +7,16 @@ under ``--strict``), 2 usage or configuration error.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.baseline import load_baseline, write_baseline
 from repro.analysis.config import load_config
-from repro.analysis.engine import analyze
+from repro.analysis.engine import Report, analyze
 from repro.analysis.reporters import REPORTERS
-from repro.analysis.rules import RULES, make_rules
+from repro.analysis.rules import RULES, make_rules, rules_in_category
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -26,6 +27,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*", default=["src"], help="files/directories to analyze")
     parser.add_argument("--format", choices=sorted(REPORTERS), default="text")
     parser.add_argument("--rules", help="comma-separated rule ids to enable (default: all)")
+    parser.add_argument(
+        "--select",
+        help="run only the rules in this category (e.g. 'concurrency')",
+    )
     parser.add_argument("--disable", help="comma-separated rule ids to disable")
     parser.add_argument("--baseline", help="baseline JSON path (overrides pyproject)")
     parser.add_argument(
@@ -58,13 +63,23 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.list_rules:
         for rule_id, cls in sorted(RULES.items()):
-            print(f"{rule_id:22s} {cls.severity.value:8s} {cls.description}")
+            print(
+                f"{rule_id:22s} {cls.severity.value:8s} "
+                f"{cls.category:12s} {cls.description}"
+            )
         return 0
 
     try:
         config = load_config(args.config)
         enable = _csv(args.rules) if args.rules else config.enable
         disable = _csv(args.disable) or config.disable
+        if args.select is not None:
+            categories = sorted({cls.category for cls in RULES.values()})
+            if args.select not in categories:
+                raise ConfigError(
+                    f"unknown rule category {args.select!r}; available: {categories}"
+                )
+            enable = rules_in_category(args.select)
         rules = make_rules(enable, disable)
 
         baseline_path = args.baseline or config.baseline
@@ -89,8 +104,33 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
 
+    if args.format == "github":
+        report = _repo_relative(report, args.paths)
     print(REPORTERS[args.format](report))
     return report.exit_code(strict=args.strict)
+
+
+def _repo_relative(report: Report, roots: Sequence[str]) -> Report:
+    """Re-anchor root-relative finding paths for GitHub annotations.
+
+    Findings carry paths relative to the analysis root (``repro/...``);
+    annotations attach to files only when the path is relative to the
+    repository root (``src/repro/...``).
+    """
+
+    def remap(finding):
+        for raw in roots:
+            root = Path(raw)
+            candidate = root / finding.path if root.is_dir() else root
+            if candidate.exists():
+                return dataclasses.replace(finding, path=candidate.as_posix())
+        return finding
+
+    return dataclasses.replace(
+        report,
+        findings=[remap(f) for f in report.findings],
+        parse_errors=[remap(f) for f in report.parse_errors],
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

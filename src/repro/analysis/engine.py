@@ -38,12 +38,26 @@ class ParsedFile:
     tree: ast.Module
     lines: list[str]
     noqa: dict[int, set[str]] = field(default_factory=dict)
+    # line -> physical span (start, end) of the enclosing multi-line
+    # simple statement, so a trailing noqa suppresses the whole statement
+    # no matter which physical line the finding anchors to.
+    spans: dict[int, tuple[int, int]] = field(default_factory=dict)
 
     @property
     def parts(self) -> tuple[str, ...]:
         return tuple(self.rel.split("/"))
 
     def is_suppressed(self, rule: str, line: int) -> bool:
+        if self._line_suppresses(rule, line):
+            return True
+        span = self.spans.get(line)
+        if span is None:
+            return False
+        return any(
+            self._line_suppresses(rule, at) for at in range(span[0], span[1] + 1)
+        )
+
+    def _line_suppresses(self, rule: str, line: int) -> bool:
         ids = self.noqa.get(line)
         if not ids:
             return False
@@ -99,11 +113,39 @@ def collect_files(paths: Sequence[Path], exclude: Sequence[str] = ()) -> list[tu
     return out
 
 
+def _statement_spans(tree: ast.Module) -> dict[int, tuple[int, int]]:
+    """Physical-line spans of multi-line *simple* statements.
+
+    Compound statements are skipped on purpose: their body shares the
+    node's span, and a noqa on the ``if``/``for`` header must not
+    blanket-suppress every finding inside the block.
+    """
+    spans: dict[int, tuple[int, int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt) or hasattr(node, "body"):
+            continue
+        if isinstance(node, ast.Match):  # compound, but bodies live in .cases
+            continue
+        end = getattr(node, "end_lineno", None)
+        if end is None or end <= node.lineno:
+            continue
+        for line in range(node.lineno, end + 1):
+            spans[line] = (node.lineno, end)
+    return spans
+
+
 def parse_file(path: Path, rel: str) -> ParsedFile:
     source = path.read_text(encoding="utf-8")
     tree = ast.parse(source, filename=str(path))
     lines = source.splitlines()
-    return ParsedFile(path=path, rel=rel, tree=tree, lines=lines, noqa=_scan_noqa(lines))
+    return ParsedFile(
+        path=path,
+        rel=rel,
+        tree=tree,
+        lines=lines,
+        noqa=_scan_noqa(lines),
+        spans=_statement_spans(tree),
+    )
 
 
 @dataclass

@@ -1,10 +1,11 @@
-"""Text and JSON renderers for analysis reports."""
+"""Text, JSON, and GitHub-annotation renderers for analysis reports."""
 
 from __future__ import annotations
 
 import json
 
 from repro.analysis.engine import Report
+from repro.analysis.findings import Finding, Severity
 
 
 def render_text(report: Report) -> str:
@@ -39,4 +40,39 @@ def render_json(report: Report) -> str:
     return json.dumps(payload, indent=2)
 
 
-REPORTERS = {"text": render_text, "json": render_json}
+def _gh_escape_data(text: str) -> str:
+    """Escape a workflow-command message (order matters: % first)."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _gh_escape_property(text: str) -> str:
+    """Escape a workflow-command property value (file, title, ...)."""
+    return _gh_escape_data(text).replace(",", "%2C").replace(":", "%3A")
+
+
+def _gh_line(finding: Finding) -> str:
+    command = "error" if finding.severity is Severity.ERROR else "warning"
+    properties = ",".join(
+        (
+            f"file={_gh_escape_property(finding.path)}",
+            f"line={finding.line}",
+            f"col={finding.col + 1}",
+            f"title={_gh_escape_property(finding.rule)}",
+        )
+    )
+    return f"::{command} {properties}::{_gh_escape_data(finding.message)}"
+
+
+def render_github(report: Report) -> str:
+    """GitHub Actions workflow commands: one inline PR annotation each.
+
+    The text summary is appended after the ``::`` lines — GitHub ignores
+    non-command output, and a human reading the raw log still gets the
+    familiar rendering.
+    """
+    lines = [_gh_line(f) for f in (*report.parse_errors, *report.findings)]
+    lines.append(render_text(report))
+    return "\n".join(lines)
+
+
+REPORTERS = {"text": render_text, "json": render_json, "github": render_github}

@@ -29,6 +29,9 @@ class Rule:
     id: str = ""
     severity: Severity = Severity.ERROR
     description: str = ""
+    # Rules group into families selectable with `--select` (the
+    # concurrency suite runs as its own zero-findings CI gate).
+    category: str = "general"
 
     def make_finding(self, pf: ParsedFile, node: ast.AST, message: str) -> Finding:
         return Finding(
@@ -825,6 +828,14 @@ class RuntimeTensorRule(FileRule):
 # Registry
 # ---------------------------------------------------------------------------
 
+# Imported here, not at the top: concurrency.py needs ProjectRule from
+# this module, so the import must run after the base classes exist.
+from repro.analysis.concurrency import (  # noqa: E402
+    GuardedByRule,
+    LockOrderRule,
+    PlanImmutabilityRule,
+)
+
 RULES: dict[str, type[Rule]] = {
     rule.id: rule
     for rule in (
@@ -838,8 +849,15 @@ RULES: dict[str, type[Rule]] = {
         HotLoopAllocRule,
         ShadowedExportRule,
         RuntimeTensorRule,
+        GuardedByRule,
+        LockOrderRule,
+        PlanImmutabilityRule,
     )
 }
+
+
+def rules_in_category(category: str) -> list[str]:
+    return [rule_id for rule_id, cls in RULES.items() if cls.category == category]
 
 
 def default_rules() -> list[Rule]:

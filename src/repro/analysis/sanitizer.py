@@ -1,0 +1,304 @@
+"""Eraser-style dynamic race sanitizer for serve-layer objects.
+
+The lockset algorithm (Savage et al., "Eraser: a dynamic data race
+detector for multithreaded programs") tracks, per shared variable, the
+set of locks that was held on *every* access so far.  When the variable
+is written by more than one thread and that candidate set becomes empty,
+no lock consistently protects it — a data race, reported even when the
+unlucky interleaving never actually happened during the run.
+
+Here "variable" is an instance attribute.  :func:`track` instruments one
+object: its ``threading.Lock``/``RLock`` attributes are wrapped in
+:class:`TrackedLock` proxies (so we know the lockset of the current
+thread), and the object's ``__class__`` is swapped for a generated
+subclass whose ``__getattribute__``/``__setattr__`` feed every
+instance-attribute access into the state machine.  :func:`install`
+patches classes so every new instance is tracked automatically —
+that is what ``REPRO_SANITIZE=1`` turns on for the serve test suite.
+
+Per-variable states, transitioned on each (thread, lockset, access):
+
+- ``virgin`` — never touched since tracking began;
+- ``exclusive`` — touched by a single thread only: no races possible
+  yet, and init-time writes do not pollute the lockset;
+- ``shared`` — read by multiple threads: the candidate lockset is
+  refined by intersection but empty sets are benign (read-only data);
+- ``shared-modified`` — written by one thread while others access it:
+  an empty candidate lockset here is reported as a race.
+
+Sync primitives (locks, events, queues, threads) are never tracked as
+data: by design they are the synchronisation itself, and objects such
+as the batcher's pending-slot use an ``Event`` handoff that Eraser's
+lockset view cannot model (a classic Eraser false positive).
+"""
+
+from __future__ import annotations
+
+import queue
+import sys
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AccessSite",
+    "LocksetSanitizer",
+    "RaceReport",
+    "TrackedLock",
+    "install",
+    "track",
+]
+
+_SANITIZER_ATTR = "__repro_sanitizer__"
+
+# Values of these types are synchronisation, not shared data.
+_SYNC_TYPES: tuple[type, ...] = (
+    type(threading.Lock()),
+    type(threading.RLock()),
+    threading.Event,
+    threading.Condition,
+    threading.Semaphore,
+    threading.BoundedSemaphore,
+    threading.Barrier,
+    threading.Thread,
+    threading.local,
+    queue.Queue,
+    queue.LifoQueue,
+    queue.PriorityQueue,
+    queue.SimpleQueue,
+)
+
+
+class _ThreadState(threading.local):
+    def __init__(self):
+        self.held: dict[int, tuple["TrackedLock", int]] = {}  # id -> (lock, depth)
+        self.busy = False  # re-entrancy guard while recording
+
+
+_STATE = _ThreadState()
+
+
+class TrackedLock:
+    """Proxy around a ``Lock``/``RLock`` that records what each thread holds."""
+
+    def __init__(self, inner, name: str = "<lock>"):
+        self._inner = inner
+        self._name = name
+
+    def acquire(self, *args, **kwargs) -> bool:
+        acquired = self._inner.acquire(*args, **kwargs)
+        if acquired:
+            _, depth = _STATE.held.get(id(self), (self, 0))
+            _STATE.held[id(self)] = (self, depth + 1)
+        return acquired
+
+    def release(self) -> None:
+        entry = _STATE.held.get(id(self))
+        if entry is not None:
+            _, depth = entry
+            if depth <= 1:
+                _STATE.held.pop(id(self), None)
+            else:
+                _STATE.held[id(self)] = (self, depth - 1)
+        self._inner.release()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrackedLock({self._name})"
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    thread: str
+    is_write: bool
+    filename: str
+    lineno: int
+    locks: tuple[str, ...]
+
+    def __str__(self) -> str:
+        kind = "write" if self.is_write else "read"
+        held = ", ".join(self.locks) if self.locks else "no locks"
+        return f"{kind} by {self.thread} at {self.filename}:{self.lineno} holding {held}"
+
+
+@dataclass
+class RaceReport:
+    cls: str
+    attr: str
+    sites: list[AccessSite]
+
+    def __str__(self) -> str:
+        lines = [f"data race on {self.cls}.{self.attr}: no lock protects every access"]
+        lines.extend(f"  - {site}" for site in self.sites)
+        return "\n".join(lines)
+
+
+_VIRGIN = "virgin"
+_EXCLUSIVE = "exclusive"
+_SHARED = "shared"
+_SHARED_MODIFIED = "shared-modified"
+
+
+@dataclass
+class _VarState:
+    state: str = _VIRGIN
+    owner: int | None = None  # thread ident while exclusive
+    candidates: frozenset[int] | None = None  # None = universe (not yet refined)
+    sites: list[AccessSite] = field(default_factory=list)
+    reported: bool = False
+
+
+class LocksetSanitizer:
+    """Collects (thread, lockset, access) tuples and flags Eraser races."""
+
+    def __init__(self, history: int = 6):
+        self.history = history
+        self.races: list[RaceReport] = []
+        self._vars: dict[tuple[int, str], _VarState] = {}
+        self._names: dict[tuple[int, str], str] = {}
+        self._mutex = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def record(self, obj, attr: str, is_write: bool, depth: int = 2) -> None:
+        if _STATE.busy:
+            return
+        _STATE.busy = True
+        try:
+            held = {lock_id: lock for lock_id, (lock, _) in _STATE.held.items()}
+            frame = sys._getframe(depth)
+            site = AccessSite(
+                thread=threading.current_thread().name,
+                is_write=is_write,
+                filename=frame.f_code.co_filename.rsplit("/", 1)[-1],
+                lineno=frame.f_lineno,
+                locks=tuple(sorted(lock._name for lock in held.values())),
+            )
+            with self._mutex:
+                self._transition(obj, attr, frozenset(held), site)
+        finally:
+            _STATE.busy = False
+
+    def _transition(
+        self, obj, attr: str, held: frozenset[int], site: AccessSite
+    ) -> None:
+        key = (id(obj), attr)
+        cls_name = type(obj).__name__
+        if cls_name.startswith("Sanitized"):
+            cls_name = cls_name[len("Sanitized"):]
+        self._names.setdefault(key, cls_name)
+        var = self._vars.setdefault(key, _VarState())
+        var.sites.append(site)
+        del var.sites[: -self.history]
+        ident = threading.get_ident()
+
+        if var.state == _VIRGIN:
+            var.state = _EXCLUSIVE
+            var.owner = ident
+            return
+        if var.state == _EXCLUSIVE:
+            if var.owner == ident:
+                return
+            var.state = _SHARED_MODIFIED if site.is_write else _SHARED
+            var.candidates = held
+        else:
+            assert var.candidates is not None
+            var.candidates &= held
+            if site.is_write:
+                var.state = _SHARED_MODIFIED
+        if var.state == _SHARED_MODIFIED and not var.candidates and not var.reported:
+            var.reported = True
+            self.races.append(
+                RaceReport(cls=self._names[key], attr=attr, sites=list(var.sites))
+            )
+
+    # ------------------------------------------------------------------
+    def assert_clean(self) -> None:
+        if self.races:
+            raise AssertionError(
+                "lockset sanitizer found races:\n"
+                + "\n".join(str(race) for race in self.races)
+            )
+
+
+def _should_track_value(value) -> bool:
+    return not isinstance(value, (TrackedLock, *_SYNC_TYPES))
+
+
+_TRACKED_SUBCLASS: dict[type, type] = {}
+
+
+def _tracked_class(cls: type) -> type:
+    cached = _TRACKED_SUBCLASS.get(cls)
+    if cached is not None:
+        return cached
+
+    def __getattribute__(self, name):  # noqa: N807 - dunder by design
+        value = object.__getattribute__(self, name)
+        if not name.startswith("__") and not _STATE.busy:
+            instance_dict = object.__getattribute__(self, "__dict__")
+            if name in instance_dict and _should_track_value(value):
+                sanitizer = instance_dict.get(_SANITIZER_ATTR)
+                if sanitizer is not None:
+                    sanitizer.record(self, name, is_write=False, depth=2)
+        return value
+
+    def __setattr__(self, name, value):  # noqa: N807 - dunder by design
+        object.__setattr__(self, name, value)
+        if not name.startswith("__") and name != _SANITIZER_ATTR and not _STATE.busy:
+            if _should_track_value(value):
+                sanitizer = object.__getattribute__(self, "__dict__").get(
+                    _SANITIZER_ATTR
+                )
+                if sanitizer is not None:
+                    sanitizer.record(self, name, is_write=True, depth=2)
+
+    tracked = type(
+        f"Sanitized{cls.__name__}",
+        (cls,),
+        {"__getattribute__": __getattribute__, "__setattr__": __setattr__},
+    )
+    _TRACKED_SUBCLASS[cls] = tracked
+    return tracked
+
+
+def track(obj, sanitizer: LocksetSanitizer):
+    """Instrument one object: wrap its locks, then watch its attributes."""
+    instance_dict = object.__getattribute__(obj, "__dict__")
+    for name, value in list(instance_dict.items()):
+        if isinstance(value, (type(threading.Lock()), type(threading.RLock()))):
+            instance_dict[name] = TrackedLock(
+                value, name=f"{type(obj).__name__}.{name}"
+            )
+    instance_dict[_SANITIZER_ATTR] = sanitizer
+    object.__setattr__(obj, "__class__", _tracked_class(type(obj)))
+    return obj
+
+
+def install(classes, sanitizer: LocksetSanitizer):
+    """Patch ``classes`` so every new instance is tracked; returns undo."""
+    originals: list[tuple[type, object]] = []
+    for cls in classes:
+        original_init = cls.__init__
+
+        def patched_init(self, *args, __orig=original_init, **kwargs):
+            __orig(self, *args, **kwargs)
+            if type(self).__name__.startswith("Sanitized"):
+                return  # subclass chained into an already-patched base
+            track(self, sanitizer)
+
+        originals.append((cls, original_init))
+        cls.__init__ = patched_init
+
+    def uninstall():
+        for cls, original in originals:
+            cls.__init__ = original
+
+    return uninstall

@@ -1,0 +1,630 @@
+"""Project-wide symbol table, type resolution, and call graph.
+
+This is the whole-program substrate the concurrency rules stand on.  It
+is built once per analyzed file set (and memoized) from the parsed ASTs:
+
+- every class and (possibly nested) function becomes a
+  :class:`ClassInfo` / :class:`FunctionInfo`;
+- per-class attribute inventories record which ``self.x`` attributes
+  exist, which hold ``threading.Lock`` / ``RLock`` objects, which hold
+  other synchronisation primitives, and a best-effort *type* for the
+  rest (from annotations and constructor assignments);
+- a name-and-annotation based call graph connects functions, with
+  virtual dispatch over project subclasses when the receiver type is
+  known and a name-match fallback when it is not (calls on values typed
+  as builtin containers are dropped — ``self._models.get`` must not
+  resolve to ``QueryCache.get``);
+- thread entry points are discovered from ``threading.Thread(target=…)``
+  constructions, ``BaseHTTPRequestHandler`` subclasses (every method of
+  a handler runs on a connection thread), and callables handed to
+  constructors of thread-spawning classes (the batcher's ``run_batch``).
+
+Everything is deliberately best-effort: unresolved receivers fall back
+to conservative name matching, unknown types resolve to ``None``, and
+rules built on top must treat *unknown* as *no finding*.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.engine import ParsedFile
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+_LOCK_CTORS = {
+    "threading.Lock": "Lock",
+    "threading.RLock": "RLock",
+    "Lock": "Lock",
+    "RLock": "RLock",
+}
+_SYNC_CTORS = {
+    "threading.Event", "Event",
+    "threading.Condition", "Condition",
+    "threading.Semaphore", "Semaphore",
+    "threading.BoundedSemaphore", "BoundedSemaphore",
+    "threading.Barrier", "Barrier",
+    "threading.Thread", "Thread",
+    "threading.local",
+    "queue.Queue", "Queue",
+    "queue.SimpleQueue", "SimpleQueue",
+}
+_THREAD_CTORS = {"threading.Thread", "Thread"}
+_HANDLER_BASES = {"BaseHTTPRequestHandler", "http.server.BaseHTTPRequestHandler"}
+
+# Receiver types on which method calls are *dropped* rather than name-matched:
+# calling `.get` on a dict must never resolve to a project `get` method.
+_BUILTIN_TYPES = {
+    "dict", "list", "set", "frozenset", "tuple", "str", "bytes", "bytearray",
+    "int", "float", "bool", "complex", "object", "type", "slice", "range",
+    "OrderedDict", "defaultdict", "Counter", "deque", "ChainMap",
+    "Queue", "SimpleQueue", "LifoQueue", "PriorityQueue",
+    "ndarray", "dtype", "Generator", "Path", "Callable", "Any", "None",
+    "Sequence", "Iterable", "Iterator", "Mapping", "MutableMapping", "Hashable",
+}
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Resolve ``a.b.c`` chains to a dotted string (else ``None``)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def expr_key(node: ast.AST) -> str | None:
+    """Stable text key for simple receiver expressions (``self._stats``)."""
+    return dotted_name(node)
+
+
+def own_nodes(fn: FunctionNode):
+    """Walk ``fn``'s body in source order, skipping nested defs/classes."""
+    stack: list[ast.AST] = list(reversed(fn.body))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method (possibly nested) in the project."""
+
+    name: str
+    qualname: str  # "<rel>::Class.method" / "<rel>::outer.<locals>.inner"
+    node: FunctionNode
+    pf: ParsedFile
+    owner: "ClassInfo | None" = None
+    parent: "FunctionInfo | None" = None
+    nested: dict[str, "FunctionInfo"] = field(default_factory=dict)
+    is_property: bool = False
+
+    def __hash__(self) -> int:
+        return id(self.node)
+
+    def __eq__(self, other) -> bool:
+        return self is other
+
+
+@dataclass
+class ClassInfo:
+    """One project class with its attribute / method inventory."""
+
+    name: str
+    qualname: str
+    node: ast.ClassDef
+    pf: ParsedFile
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    properties: set[str] = field(default_factory=set)
+    lock_attrs: dict[str, str] = field(default_factory=dict)  # attr -> Lock|RLock
+    sync_attrs: set[str] = field(default_factory=set)
+    attr_types: dict[str, str | None] = field(default_factory=dict)
+    instance_attrs: set[str] = field(default_factory=set)
+    spawns_thread: bool = False
+
+    def __hash__(self) -> int:
+        return id(self.node)
+
+    def __eq__(self, other) -> bool:
+        return self is other
+
+
+@dataclass(frozen=True)
+class LockId:
+    """Canonical identity of one lock: owner scope + attribute name."""
+
+    owner: str  # owning class name, or "<module:rel>" for module globals
+    attr: str
+    kind: str = "Lock"  # Lock | RLock
+
+    def __str__(self) -> str:
+        return f"{self.owner}.{self.attr}"
+
+
+class ProjectModel:
+    """Symbol table + call graph for one analyzed file set."""
+
+    def __init__(self, files: list[ParsedFile]):
+        self.files = list(files)
+        self.classes: list[ClassInfo] = []
+        self.classes_by_name: dict[str, list[ClassInfo]] = {}
+        self.functions: list[FunctionInfo] = []
+        self.methods_by_name: dict[str, list[FunctionInfo]] = {}
+        self.module_funcs: dict[tuple[str, str], FunctionInfo] = {}
+        self.funcs_by_name: dict[str, list[FunctionInfo]] = {}
+        self.module_locks: dict[tuple[str, str], str] = {}  # (rel, name) -> kind
+        self.edges: dict[FunctionInfo, set[FunctionInfo]] = {}
+        self.entry_points: dict[FunctionInfo, str] = {}  # fn -> reason
+        self.reachable: set[FunctionInfo] = set()
+        self._local_types: dict[int, dict[str, str | None]] = {}
+        self._collect()
+        self._inventory_classes()
+        self._build_call_graph()
+        self._find_entry_points()
+        self._propagate_reachability()
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        for pf in self.files:
+            for node in pf.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    self._collect_class(node, pf)
+                elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._collect_function(node, pf, owner=None, parent=None)
+                elif isinstance(node, ast.Assign):
+                    kind = self._lock_ctor(node.value)
+                    if kind is not None:
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                self.module_locks[(pf.rel, target.id)] = kind
+
+    def _collect_class(self, node: ast.ClassDef, pf: ParsedFile) -> None:
+        info = ClassInfo(
+            name=node.name,
+            qualname=f"{pf.rel}::{node.name}",
+            node=node,
+            pf=pf,
+            bases=[b for b in (dotted_name(base) for base in node.bases) if b],
+        )
+        self.classes.append(info)
+        self.classes_by_name.setdefault(node.name, []).append(info)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._collect_function(item, pf, owner=info, parent=None)
+                info.methods[item.name] = fn
+                decorators = {dotted_name(d) for d in item.decorator_list}
+                if {"property", "functools.cached_property", "cached_property"} & decorators:
+                    info.properties.add(item.name)
+                    fn.is_property = True
+            elif isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                info.attr_types[item.target.id] = self._ann_to_type_name(item.annotation)
+                info.instance_attrs.add(item.target.id)
+
+    def _collect_function(
+        self,
+        node: FunctionNode,
+        pf: ParsedFile,
+        owner: ClassInfo | None,
+        parent: FunctionInfo | None,
+    ) -> FunctionInfo:
+        if parent is not None:
+            qual = f"{parent.qualname}.<locals>.{node.name}"
+        elif owner is not None:
+            qual = f"{pf.rel}::{owner.name}.{node.name}"
+        else:
+            qual = f"{pf.rel}::{node.name}"
+        fn = FunctionInfo(name=node.name, qualname=qual, node=node, pf=pf,
+                          owner=owner, parent=parent)
+        self.functions.append(fn)
+        if owner is not None and parent is None:
+            self.methods_by_name.setdefault(node.name, []).append(fn)
+        elif parent is None:
+            self.module_funcs[(pf.rel, node.name)] = fn
+            self.funcs_by_name.setdefault(node.name, []).append(fn)
+        for child in ast.walk(node):
+            if child is node:
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Only direct nesting relative to fn (not grandchildren).
+                if self._direct_parent_function(node, child):
+                    nested = self._collect_function(child, pf, owner=owner, parent=fn)
+                    fn.nested[child.name] = nested
+        return fn
+
+    @staticmethod
+    def _direct_parent_function(fn: FunctionNode, candidate: FunctionNode) -> bool:
+        for node in own_nodes(fn):
+            if node is candidate:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Class attribute inventory
+    # ------------------------------------------------------------------
+    def _inventory_classes(self) -> None:
+        for cls in self.classes:
+            for method in cls.methods.values():
+                for node in own_nodes(method.node):
+                    target = None
+                    value = None
+                    annotation = None
+                    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                        target, value = node.targets[0], node.value
+                    elif isinstance(node, ast.AnnAssign):
+                        target, value, annotation = node.target, node.value, node.annotation
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    attr = target.attr
+                    cls.instance_attrs.add(attr)
+                    kind = self._lock_ctor(value)
+                    if kind is not None:
+                        cls.lock_attrs[attr] = kind
+                        continue
+                    if self._sync_ctor(value):
+                        cls.sync_attrs.add(attr)
+                        continue
+                    inferred = None
+                    if annotation is not None:
+                        inferred = self._ann_to_type_name(annotation)
+                    if inferred is None and value is not None:
+                        inferred = self._value_type_name(value, method)
+                    if inferred is not None or attr not in cls.attr_types:
+                        cls.attr_types[attr] = inferred or cls.attr_types.get(attr)
+            for node in ast.walk(cls.node):
+                if isinstance(node, ast.Call) and self._call_ctor_name(node) in _THREAD_CTORS:
+                    cls.spawns_thread = True
+
+    @staticmethod
+    def _call_ctor_name(call: ast.Call) -> str | None:
+        return dotted_name(call.func)
+
+    def _lock_ctor(self, value: ast.AST | None) -> str | None:
+        if isinstance(value, ast.Call):
+            name = dotted_name(value.func)
+            if name in _LOCK_CTORS:
+                return _LOCK_CTORS[name]
+        return None
+
+    def _sync_ctor(self, value: ast.AST | None) -> bool:
+        if isinstance(value, ast.Call):
+            return dotted_name(value.func) in _SYNC_CTORS
+        return False
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+    def _ann_to_type_name(self, ann: ast.AST | None) -> str | None:
+        if ann is None:
+            return None
+        if isinstance(ann, ast.Name):
+            return ann.id
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            text = ann.value.strip().split("[")[0].split(".")[-1]
+            return text or None
+        if isinstance(ann, ast.Attribute):
+            return ann.attr
+        if isinstance(ann, ast.Subscript):
+            base = self._ann_to_type_name(ann.value)
+            if base == "Optional":
+                return self._ann_to_type_name(ann.slice)
+            return base
+        if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+            sides = [self._ann_to_type_name(s) for s in (ann.left, ann.right)]
+            named = [s for s in sides if s not in (None, "None")]
+            return named[0] if len(named) == 1 else None
+        return None
+
+    def _value_type_name(self, value: ast.AST, fn: FunctionInfo) -> str | None:
+        """Type of an assigned value: constructor calls and typed calls."""
+        if isinstance(value, ast.BoolOp):
+            for operand in value.values:
+                name = self._value_type_name(operand, fn)
+                if name is not None:
+                    return name
+            return None
+        if isinstance(value, ast.Name):
+            # `self.estimator = estimator` inherits the parameter's type.
+            return self._param_type(value.id, fn)
+        if not isinstance(value, ast.Call):
+            return None
+        callee = dotted_name(value.func)
+        if callee is None:
+            return None
+        simple = callee.split(".")[-1]
+        if simple in self.classes_by_name:
+            return simple
+        # A call to a function/method with a return annotation.
+        target = self._lookup_callable(value.func, fn)
+        if target is not None and target.node.returns is not None:
+            return self._ann_to_type_name(target.node.returns)
+        return None
+
+    def _param_type(self, name: str, fn: FunctionInfo) -> str | None:
+        """Annotation-declared type of parameter ``name`` (scope chain)."""
+        scope: FunctionInfo | None = fn
+        while scope is not None:
+            args = scope.node.args
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                if arg.arg == name:
+                    return self._ann_to_type_name(arg.annotation)
+            scope = scope.parent
+        return None
+
+    def _lookup_callable(self, func: ast.AST, fn: FunctionInfo) -> FunctionInfo | None:
+        if isinstance(func, ast.Name):
+            scope: FunctionInfo | None = fn
+            while scope is not None:
+                if func.id in scope.nested:
+                    return scope.nested[func.id]
+                scope = scope.parent
+            return self.module_funcs.get((fn.pf.rel, func.id))
+        if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id in ("self", "cls")
+                and fn.owner is not None
+            ):
+                return self._method_in_hierarchy(fn.owner, func.attr)
+            receiver = self.resolve_type(func.value, fn)
+            for cls in self.classes_by_name.get(receiver or "", []):
+                method = self._method_in_hierarchy(cls, func.attr)
+                if method is not None:
+                    return method
+        return None
+
+    def _method_in_hierarchy(self, cls: ClassInfo, name: str) -> FunctionInfo | None:
+        for ancestor in self._ancestors(cls):
+            if name in ancestor.methods:
+                return ancestor.methods[name]
+        return None
+
+    def _ancestors(self, cls: ClassInfo) -> list[ClassInfo]:
+        out, queue, seen = [], [cls], set()
+        while queue:
+            current = queue.pop(0)
+            if id(current) in seen:
+                continue
+            seen.add(id(current))
+            out.append(current)
+            for base in current.bases:
+                for candidate in self.classes_by_name.get(base.split(".")[-1], []):
+                    queue.append(candidate)
+        return out
+
+    def subclasses_of(self, cls: ClassInfo) -> list[ClassInfo]:
+        return [c for c in self.classes if cls in self._ancestors(c)]
+
+    def local_types(self, fn: FunctionInfo) -> dict[str, str | None]:
+        """Best-effort static types of ``fn``'s parameters and locals."""
+        cached = self._local_types.get(id(fn.node))
+        if cached is not None:
+            return cached
+        types: dict[str, str | None] = {}
+        # Publish the partial map immediately: typing `x = y.f()` resolves
+        # `y` through this same function, and earlier assignments are
+        # already recorded when later ones are analysed (source order).
+        self._local_types[id(fn.node)] = types
+        args = fn.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            types[arg.arg] = self._ann_to_type_name(arg.annotation)
+        if fn.owner is not None and fn.parent is None:
+            all_args = [*args.posonlyargs, *args.args]
+            if all_args and all_args[0].arg in ("self", "cls"):
+                types[all_args[0].arg] = fn.owner.name
+        for node in own_nodes(fn.node):
+            target = None
+            value = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if node.annotation is not None and isinstance(node.target, ast.Name):
+                    types[node.target.id] = self._ann_to_type_name(node.annotation)
+                    continue
+                target, value = node.target, node.value
+            if isinstance(target, ast.Name) and value is not None:
+                inferred = self._value_type_name(value, fn)
+                if target.id in types and types[target.id] != inferred:
+                    types[target.id] = None  # conflicting assignments
+                else:
+                    types[target.id] = inferred
+        self._local_types[id(fn.node)] = types
+        return types
+
+    def resolve_type(self, expr: ast.AST, fn: FunctionInfo) -> str | None:
+        """Best-effort type *name* of an expression inside ``fn``."""
+        if isinstance(expr, ast.Name):
+            scope: FunctionInfo | None = fn
+            while scope is not None:
+                name = self.local_types(scope).get(expr.id)
+                if name is not None:
+                    return name
+                scope = scope.parent
+            return None
+        if isinstance(expr, ast.Attribute):
+            base = self.resolve_type(expr.value, fn)
+            for cls in self.classes_by_name.get(base or "", []):
+                for ancestor in self._ancestors(cls):
+                    if expr.attr in ancestor.lock_attrs:
+                        return None  # locks have no project type
+                    declared = ancestor.attr_types.get(expr.attr)
+                    if declared is not None:
+                        return declared
+            return None
+        if isinstance(expr, ast.Call):
+            return self._value_type_name(expr, fn)
+        return None
+
+    def resolve_class(self, expr: ast.AST, fn: FunctionInfo) -> ClassInfo | None:
+        name = self.resolve_type(expr, fn)
+        if name is None:
+            return None
+        candidates = self.classes_by_name.get(name, [])
+        return candidates[0] if len(candidates) == 1 else None
+
+    def is_builtin_typed(self, expr: ast.AST, fn: FunctionInfo) -> bool:
+        name = self.resolve_type(expr, fn)
+        return name is not None and name in _BUILTIN_TYPES and name not in self.classes_by_name
+
+    # ------------------------------------------------------------------
+    # Call graph
+    # ------------------------------------------------------------------
+    def _build_call_graph(self) -> None:
+        for fn in self.functions:
+            targets: set[FunctionInfo] = set()
+            for node in own_nodes(fn.node):
+                if isinstance(node, ast.Call):
+                    targets.update(self.callees(node, fn))
+                elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                    prop = self._property_target(node, fn)
+                    if prop is not None:
+                        targets.add(prop)
+            self.edges[fn] = targets
+
+    def callees(self, call: ast.Call, fn: FunctionInfo) -> set[FunctionInfo]:
+        """Possible targets of one call expression inside ``fn``."""
+        func = call.func
+        out: set[FunctionInfo] = set()
+        if isinstance(func, ast.Name):
+            scope: FunctionInfo | None = fn
+            while scope is not None:
+                if func.id in scope.nested:
+                    return {scope.nested[func.id]}
+                scope = scope.parent
+            local = self.module_funcs.get((fn.pf.rel, func.id))
+            if local is not None:
+                return {local}
+            out.update(self.funcs_by_name.get(func.id, []))
+            # Constructors: edge into __init__.
+            for cls in self.classes_by_name.get(func.id, []):
+                init = cls.methods.get("__init__")
+                if init is not None:
+                    out.add(init)
+            return out
+        if isinstance(func, ast.Attribute):
+            receiver_cls = None
+            base_name = self.resolve_type(func.value, fn)
+            if base_name is not None:
+                if base_name in _BUILTIN_TYPES and base_name not in self.classes_by_name:
+                    return set()  # dict.get etc. — never a project method
+                candidates = self.classes_by_name.get(base_name, [])
+                receiver_cls = candidates[0] if len(candidates) == 1 else None
+            if receiver_cls is not None:
+                # Virtual dispatch: the static type's method plus every
+                # project override in its subclasses.
+                for cls in (receiver_cls, *self.subclasses_of(receiver_cls)):
+                    method = self._method_in_hierarchy(cls, func.attr)
+                    if method is not None:
+                        out.add(method)
+                return out
+            # Unresolved receiver: conservative name match.
+            out.update(self.methods_by_name.get(func.attr, []))
+            return out
+        return out
+
+    def _property_target(self, node: ast.Attribute, fn: FunctionInfo) -> FunctionInfo | None:
+        base_name = self.resolve_type(node.value, fn)
+        for cls in self.classes_by_name.get(base_name or "", []):
+            for ancestor in self._ancestors(cls):
+                if node.attr in ancestor.properties:
+                    return ancestor.methods[node.attr]
+        return None
+
+    # ------------------------------------------------------------------
+    # Thread entry points & reachability
+    # ------------------------------------------------------------------
+    def _find_entry_points(self) -> None:
+        for fn in self.functions:
+            for node in own_nodes(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                ctor = dotted_name(node.func)
+                if ctor in _THREAD_CTORS:
+                    for kw in node.keywords:
+                        if kw.arg == "target":
+                            self._mark_callable(kw.value, fn, "threading.Thread target")
+                elif ctor is not None and self._spawning_class(ctor.split(".")[-1]):
+                    for arg in (*node.args, *(kw.value for kw in node.keywords)):
+                        self._mark_callable(
+                            arg, fn,
+                            f"callback passed to thread-spawning {ctor.split('.')[-1]}",
+                        )
+        for cls in self.classes:
+            if self._is_handler_class(cls):
+                for name, method in cls.methods.items():
+                    self.entry_points.setdefault(
+                        method, "BaseHTTPRequestHandler method (connection thread)"
+                    )
+
+    def _spawning_class(self, name: str) -> bool:
+        return any(c.spawns_thread for c in self.classes_by_name.get(name, []))
+
+    def _is_handler_class(self, cls: ClassInfo) -> bool:
+        return any(
+            base.split(".")[-1] in {b.split(".")[-1] for b in _HANDLER_BASES}
+            for ancestor in self._ancestors(cls)
+            for base in ancestor.bases
+        )
+
+    def _mark_callable(self, expr: ast.AST, fn: FunctionInfo, reason: str) -> None:
+        target: FunctionInfo | None = None
+        if isinstance(expr, ast.Name):
+            scope: FunctionInfo | None = fn
+            while scope is not None and target is None:
+                target = scope.nested.get(expr.id)
+                scope = scope.parent
+            if target is None:
+                target = self.module_funcs.get((fn.pf.rel, expr.id))
+        elif isinstance(expr, ast.Attribute):
+            base_name = self.resolve_type(expr.value, fn)
+            for cls in self.classes_by_name.get(base_name or "", []):
+                target = self._method_in_hierarchy(cls, expr.attr)
+                if target is not None:
+                    break
+        if target is not None:
+            self.entry_points.setdefault(target, reason)
+
+    def _propagate_reachability(self) -> None:
+        queue = list(self.entry_points)
+        seen: set[FunctionInfo] = set(queue)
+        while queue:
+            fn = queue.pop()
+            for callee in self.edges.get(fn, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    queue.append(callee)
+        self.reachable = seen
+
+    def entry_reason(self, fn: FunctionInfo) -> str | None:
+        return self.entry_points.get(fn)
+
+
+# ---------------------------------------------------------------------------
+# Memoized construction: three concurrency rules share one model.
+# ---------------------------------------------------------------------------
+
+_CACHE: dict[tuple[int, ...], ProjectModel] = {}
+
+
+def build_project_model(files) -> ProjectModel:
+    """Build (or reuse) the :class:`ProjectModel` for a parsed file set."""
+    key = tuple(id(pf.tree) for pf in files)
+    model = _CACHE.get(key)
+    if model is None:
+        _CACHE.clear()  # one live file set at a time is enough
+        model = ProjectModel(list(files))
+        _CACHE[key] = model
+    return model

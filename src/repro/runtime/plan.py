@@ -197,15 +197,14 @@ class MADEPlan:
         # input. Detected per column at compile time so forward_slice can
         # skip the whole trunk (h @ 0 + b == b for any finite h).
         self._const_cols = [not w.any() for w in self._out_weight_cols]
-        self._ar_order: list[int] | None = None
+        # Precomputed here, not lazily: plans are shared across serving
+        # threads without a lock, so no attribute may be written after
+        # __init__ (enforced by the plan-immutability analysis pass).
+        self._ar_order = [int(c) for c in np.argsort(self.positions, kind="stable")]
 
     # ------------------------------------------------------------------
     def ar_order(self) -> list[int]:
         """Column indices in sampling order (position 0 first)."""
-        if self._ar_order is None:
-            self._ar_order = [
-                int(c) for c in np.argsort(self.positions, kind="stable")
-            ]
         return list(self._ar_order)
 
     def nbytes(self) -> int:

@@ -84,7 +84,9 @@ def _selftest_queries(service: EstimationService, name: str, n: int):
     from repro.query.generator import QueryGenerator
 
     model = service._require_model(name)
-    generator = QueryGenerator(model.estimator.table, seed=42)
+    with model.lock:
+        table = model.estimator.table
+    generator = QueryGenerator(table, seed=42)
     return [generator.generate() for _ in range(n)]
 
 
@@ -161,8 +163,10 @@ def run_selftest(dataset: str = "twi", rows: int = 1500) -> int:
 
         # Degraded path: a deliberately slow model must fall back.
         model = service._require_model(dataset)
+        with model.lock:
+            estimator = model.estimator
         service.register(
-            "slow", _Slowed(model.estimator, delay_seconds=0.25), fallback="sampling"
+            "slow", _Slowed(estimator, delay_seconds=0.25), fallback="sampling"
         )
         degraded = service.estimate("slow", queries[0], timeout_ms=10.0)
         if not degraded.degraded or degraded.source != "fallback":

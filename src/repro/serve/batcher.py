@@ -76,7 +76,9 @@ class MicroBatcher:
         self._queue: queue.Queue = queue.Queue()
         self._stats = BatcherStats()
         self._stats_lock = threading.Lock()
-        self._closed = False
+        # An Event, not a bool: submit() polls it from request threads
+        # while close() sets it, and an Event is its own synchronisation.
+        self._closed = threading.Event()
         self._worker = threading.Thread(
             target=self._run, name=f"repro-serve-{name}", daemon=True
         )
@@ -96,7 +98,7 @@ class MicroBatcher:
         batch still completes in the background; only this caller gives
         up), and re-raises whatever ``run_batch`` raised otherwise.
         """
-        if self._closed:
+        if self._closed.is_set():
             raise ServeError(f"batcher {self.name!r} is closed")
         pending = _Pending(query=query, rng=rng)
         self._queue.put(pending)
@@ -119,9 +121,9 @@ class MicroBatcher:
 
     def close(self) -> None:
         """Stop the worker; queued-but-unserved requests fail cleanly."""
-        if self._closed:
+        if self._closed.is_set():
             return
-        self._closed = True
+        self._closed.set()
         self._queue.put(_SHUTDOWN)
         self._worker.join(timeout=5.0)
 

@@ -109,18 +109,30 @@ class ServedModel:
 
     @property
     def num_rows(self) -> int:
-        return self.estimator.table.num_rows
+        with self.lock:
+            return self.estimator.table.num_rows
+
+    def current_version(self) -> int:
+        """The reload generation, read under the model lock."""
+        with self.lock:
+            return self.version
 
     def describe(self) -> dict:
+        # Snapshot the swappable state under the lock, then build the
+        # payload (and query the batcher, which has its own lock) outside.
+        with self.lock:
+            estimator = self.estimator
+            plan = self.plan
+            version = self.version
         stats = self.batcher.stats()
         return {
             "name": self.name,
-            "estimator": type(self.estimator).__name__,
-            "kind": getattr(self.estimator, "name", "unknown"),
-            "rows": self.num_rows,
-            "version": self.version,
-            "compiled": self.plan is not None,
-            "plan_fingerprint": None if self.plan is None else self.plan.fingerprint,
+            "estimator": type(estimator).__name__,
+            "kind": getattr(estimator, "name", "unknown"),
+            "rows": estimator.table.num_rows,
+            "version": version,
+            "compiled": plan is not None,
+            "plan_fingerprint": None if plan is None else plan.fingerprint,
             "source_path": self.source_path,
             "fallback": getattr(self.fallback, "name", None),
             "batches": stats.batches,
@@ -222,9 +234,13 @@ class EstimationService:
         if model.source_path is None:
             raise ServeError(f"model {name!r} was not loaded from an archive")
         current = _mtime(model.source_path)
-        if not force and current is not None and current == model.source_mtime:
+        # Snapshot under the lock; the (slow) archive load runs outside
+        # it so in-flight estimates keep draining on the old weights.
+        with model.lock:
+            last_mtime = model.source_mtime
+            table = model.estimator.table
+        if not force and current is not None and current == last_mtime:
             return False
-        table = model.estimator.table
         fresh = _estimator_from_archive(model.source_path, table)
         with model.lock:
             model.estimator = fresh
@@ -280,7 +296,7 @@ class EstimationService:
         """Serve one query: cache, then micro-batch, then fallback."""
         start = time.perf_counter()
         model = self._require_model(model_name)
-        key = (model_name, model.version, query.cache_key())
+        key = (model_name, model.current_version(), query.cache_key())
         self.telemetry.increment("requests")
         self.telemetry.increment(f"requests.{model_name}")
 

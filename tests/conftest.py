@@ -6,6 +6,8 @@ session-scoped and downsized; tests assert behaviour, not benchmarks.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -72,3 +74,33 @@ def fitted_iam(twi_small) -> IAM:
 @pytest.fixture(scope="session")
 def twi_workload(twi_small) -> Workload:
     return Workload.generate(twi_small, 30, seed=5)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lockset_sanitizer():
+    """With ``REPRO_SANITIZE=1``, run the whole session under the
+    Eraser-style race sanitizer: every serve-layer object constructed by
+    any test is tracked, and the session fails if a race was observed.
+    CI runs ``tests/test_serve.py`` this way; locally it is off by
+    default because attribute tracking costs roughly an order of
+    magnitude on hot serve paths.
+    """
+    if os.environ.get("REPRO_SANITIZE") != "1":
+        yield None
+        return
+    from repro.analysis.sanitizer import LocksetSanitizer, install
+    from repro.serve.batcher import MicroBatcher
+    from repro.serve.cache import QueryCache
+    from repro.serve.service import EstimationService, ServedModel
+    from repro.serve.telemetry import Telemetry
+
+    sanitizer = LocksetSanitizer()
+    uninstall = install(
+        [EstimationService, ServedModel, MicroBatcher, QueryCache, Telemetry],
+        sanitizer,
+    )
+    try:
+        yield sanitizer
+    finally:
+        uninstall()
+    sanitizer.assert_clean()

@@ -363,7 +363,7 @@ class TestHotReload:
             os.utime(path, (time.time() + 5, time.time() + 5))
             assert svc.reload("twi") is True
             model = svc._require_model("twi")
-            assert model.version == 1
+            assert model.current_version() == 1
             assert svc.cache.stats().entries == 0
             after = svc.estimate("twi", query)
             # Same archive bits + deterministic serving = same answer.
@@ -382,6 +382,6 @@ class TestHotReload:
         try:
             svc.load_model("twi", path, twi_small)
             assert svc.reload("twi", force=True) is True
-            assert svc._require_model("twi").version == 1
+            assert svc._require_model("twi").current_version() == 1
         finally:
             svc.close()

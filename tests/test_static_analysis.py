@@ -606,6 +606,46 @@ ALL_RULES_FIXTURE = {
         def forward(weights, x):
             return (Tensor(x) @ Tensor(weights)).numpy()
     """,
+    "serve/racy.py": """
+        import threading
+
+        class Worker:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._other = threading.Lock()
+                self._count = 0
+
+            def start(self):
+                thread = threading.Thread(target=self._run)
+                thread.start()
+
+            def _run(self):
+                self._count += 1
+
+            def bump(self):
+                with self._lock:
+                    self._count += 1
+
+            def ab(self):
+                with self._lock:
+                    with self._other:
+                        pass
+
+            def ba(self):
+                with self._other:
+                    with self._lock:
+                        pass
+    """,
+    "runtime/planlike.py": """
+        import numpy as np
+
+        class MADEPlan:
+            def __init__(self, weights):
+                self.weights = weights
+
+            def clobber(self):
+                self.weights = np.zeros(2, dtype=np.float64)
+    """,
 }
 
 
