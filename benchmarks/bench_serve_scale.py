@@ -1,0 +1,31 @@
+"""Multi-process serving scale-out: sharded workers vs single-process.
+
+Runs the same closed-loop load generator as ``python -m repro.bench
+serve_scale`` (worker sweep, bitwise spot-check, shed probe, shm leak
+gate) at a reduced sweep so the pytest-benchmark suite stays quick; the
+full 1/2/4/8 sweep and its JSON gate live in the CLI command.
+"""
+
+from repro.bench import experiments, record_table
+
+
+def test_serve_scale(benchmark):
+    headers, rows, summary = experiments.serve_scale(
+        "twi", worker_counts=(1, 2), duration_s=2.0
+    )
+    record_table("serve_scale_twi", headers, rows,
+                 title="Sharded serving scale-out on TWI")
+
+    # Every cluster answer matched the single-process reference bitwise.
+    assert summary["bitwise_equal"]
+    # The overload probe actually exercised admission control.
+    assert summary["shed_requests"] > 0
+    # Every published plan segment was unlinked on close.
+    assert summary["leaked_segments"] == []
+    # Two workers sustain meaningfully more than one (stall-bound load).
+    qps = {r["workers"]: r["qps"] for r in summary["workers"]}
+    assert qps[2] > qps[1] * 1.5, f"no scale-out: {qps}"
+
+    estimator, _ = experiments.get_estimator("iam", "twi")
+    _, test = experiments.get_workloads("twi")
+    benchmark(estimator.estimate_many, test.queries[:16], 16)

@@ -175,6 +175,56 @@ def cmd_training(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_serve_scale(args) -> int:
+    """Cluster-serving gate: sharded workers vs single-process, bitwise-checked.
+
+    Closed-loop load generation against ``repro.serve.cluster`` across
+    1/2/4/8 workers.  Writes ``BENCH_serve_scale.json`` (sustained QPS,
+    p50/p99 latency, 1→4-worker scaling ratio, shed count, leak check)
+    and exits nonzero if the cluster ever disagrees bitwise with a
+    single-process ``estimate()``, if the load-shedding path went
+    unexercised, or if a shared-memory segment leaked — CI runs this
+    with ``--smoke``.
+    """
+    if args.smoke:
+        # Must happen before any driver reads bench_scale() (it is lazy).
+        os.environ["REPRO_BENCH_SCALE"] = "micro"
+    dataset = _single_dataset(args)
+    headers, rows, summary = experiments.serve_scale(dataset)
+    scaling = summary["scaling_1_to_4"]
+    record_table(
+        f"serve_scale_{dataset}", headers, rows,
+        title=f"Sharded serving scale-out on {dataset.upper()} "
+              f"(QPS x{scaling} from 1 to 4 workers, "
+              f"bitwise_equal={summary['bitwise_equal']})",
+    )
+    out = args.output or "BENCH_serve_scale.json"
+    with open(out, "w") as fh:
+        json.dump(summary, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+    failed = False
+    if not summary["bitwise_equal"]:
+        print(
+            "ERROR: cluster selectivities diverge from single-process estimate()",
+            file=sys.stderr,
+        )
+        failed = True
+    if summary["shed_requests"] <= 0:
+        print(
+            "ERROR: overload probe never exercised the load-shedding path",
+            file=sys.stderr,
+        )
+        failed = True
+    if summary["leaked_segments"]:
+        print(
+            f"ERROR: leaked shared-memory segments: {summary['leaked_segments']}",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "table2": lambda a: cmd_accuracy(a, "wisdm", "table2_wisdm"),
@@ -192,6 +242,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "inference": cmd_inference,
     "training": cmd_training,
+    "serve_scale": cmd_serve_scale,
 }
 
 

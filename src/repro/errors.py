@@ -46,5 +46,13 @@ class EstimateTimeoutError(ServeError):
     """A served estimate missed its deadline (fallback may apply)."""
 
 
+class OverloadError(ServeError):
+    """Admission control shed the request (queue depth bound exceeded)."""
+
+
+class WorkerCrashError(ServeError):
+    """A cluster worker process died while holding the request."""
+
+
 class CompileError(ReproError):
     """A model could not be compiled for the runtime executors."""

@@ -45,7 +45,13 @@ from repro.errors import ConfigError, ShapeError
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.ar.made import MADE
 
-__all__ = ["MADEPlan", "Workspace", "compile_made", "softmax_inplace"]
+__all__ = [
+    "MADEPlan",
+    "Workspace",
+    "compile_made",
+    "plan_fingerprint",
+    "softmax_inplace",
+]
 
 
 class Workspace:
@@ -118,6 +124,39 @@ def _frozen(array: np.ndarray, dtype) -> np.ndarray:
     out = np.array(array, dtype=dtype, copy=True, order="C")
     out.setflags(write=False)
     return out
+
+
+def _frozen_view(array: np.ndarray) -> np.ndarray:
+    """Mark ``array`` read-only in place and return it (no copy).
+
+    The zero-copy counterpart of :func:`_frozen` for arrays that already
+    live in their final storage (e.g. views into a shared-memory
+    segment): freezing the view enforces the plan's immutability
+    contract without duplicating the bytes the segment exists to share.
+    """
+    out = array
+    out.setflags(write=False)
+    return out
+
+
+def plan_fingerprint(
+    positions: np.ndarray,
+    out_weight: np.ndarray,
+    embeddings: Sequence[np.ndarray],
+    trunk_weights: Sequence[np.ndarray],
+) -> str:
+    """The content hash identifying a compiled plan's weight snapshot.
+
+    Shared by :func:`compile_made` (stamping fresh plans) and
+    :meth:`MADEPlan.from_buffers` (verifying imported array sets), so a
+    fingerprint match means the arrays are bitwise the ones the plan was
+    compiled with.
+    """
+    digest = hashlib.sha256()
+    digest.update(np.asarray(positions, dtype=np.int64).tobytes())
+    for array in (out_weight, *embeddings, *trunk_weights):
+        digest.update(array.tobytes())
+    return digest.hexdigest()[:16]
 
 
 class MADEPlan:
@@ -217,6 +256,97 @@ class MADEPlan:
             if bias is not None:
                 arrays.append(bias)
         return sum(a.nbytes for a in arrays)
+
+    # ------------------------------------------------------------------
+    # Export / import (shared-memory publication, on-disk caching)
+    # ------------------------------------------------------------------
+    def to_buffers(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Export the plan as ``(meta, arrays)`` — its complete state.
+
+        ``meta`` is a JSON-safe description (shapes/dtypes live on the
+        arrays themselves); ``arrays`` maps stable names to the plan's
+        read-only ndarrays, *by reference* (no copies).  Feeding both to
+        :meth:`from_buffers` reconstructs an equivalent plan; serializers
+        (``repro.serve.cluster.shm``, future on-disk caches) consume this
+        instead of reaching into plan attributes.
+        """
+        meta = {
+            "version": 1,
+            "fingerprint": self.fingerprint,
+            "vocab_sizes": list(self.vocab_sizes),
+            "embed_widths": list(self.embed_widths),
+            "residual": bool(self.residual),
+            "dtype": self.dtype.str,
+            "trunk_bias": [bias is not None for _, bias in self.trunk],
+            "out_bias": self.out_bias is not None,
+        }
+        arrays: dict[str, np.ndarray] = {
+            "positions": self.positions,
+            "out_weight": self.out_weight,
+        }
+        if self.out_bias is not None:
+            arrays["out_bias"] = self.out_bias
+        for k, embedding in enumerate(self.embeddings):
+            arrays[f"embed.{k}"] = embedding
+        for i, (weight, bias) in enumerate(self.trunk):
+            arrays[f"trunk.{i}.weight"] = weight
+            if bias is not None:
+                arrays[f"trunk.{i}.bias"] = bias
+        return meta, arrays
+
+    @classmethod
+    def from_buffers(
+        cls, meta: dict, arrays: dict[str, np.ndarray], verify: bool = True
+    ) -> "MADEPlan":
+        """Rebuild a plan from a :meth:`to_buffers` export.
+
+        The big arrays are adopted as given (frozen in place, not
+        copied), so callers handing in views over a shared-memory
+        segment get a zero-copy plan.  With ``verify=True`` the content
+        fingerprint is recomputed from the array bytes and checked
+        against ``meta['fingerprint']`` — a mismatch (truncated segment,
+        torn write, wrong archive) raises :class:`ConfigError` rather
+        than silently serving wrong selectivities.
+        """
+        if meta.get("version") != 1:
+            raise ConfigError(f"unsupported plan buffer version {meta.get('version')!r}")
+        try:
+            positions = _frozen_view(arrays["positions"])
+            out_weight = _frozen_view(arrays["out_weight"])
+            embeddings = [
+                _frozen_view(arrays[f"embed.{k}"])
+                for k in range(len(meta["vocab_sizes"]))
+            ]
+            trunk: list[tuple[np.ndarray, np.ndarray | None]] = []
+            for i, has_bias in enumerate(meta["trunk_bias"]):
+                weight = _frozen_view(arrays[f"trunk.{i}.weight"])
+                bias = _frozen_view(arrays[f"trunk.{i}.bias"]) if has_bias else None
+                trunk.append((weight, bias))
+            out_bias = _frozen_view(arrays["out_bias"]) if meta["out_bias"] else None
+        except KeyError as exc:
+            raise ConfigError(f"plan buffer set is missing array {exc}") from exc
+        if verify:
+            actual = plan_fingerprint(
+                positions, out_weight, embeddings, [w for w, _ in trunk]
+            )
+            if actual != meta["fingerprint"]:
+                raise ConfigError(
+                    f"plan buffers hash to {actual}, expected fingerprint "
+                    f"{meta['fingerprint']} — the array set does not match the "
+                    "plan it claims to be"
+                )
+        return cls(
+            vocab_sizes=list(meta["vocab_sizes"]),
+            positions=positions,
+            embed_widths=list(meta["embed_widths"]),
+            embeddings=embeddings,
+            residual=bool(meta["residual"]),
+            trunk=trunk,
+            out_weight=out_weight,
+            out_bias=out_bias,
+            dtype=np.dtype(meta["dtype"]),
+            fingerprint=meta["fingerprint"],
+        )
 
     # ------------------------------------------------------------------
     def _check_tokens(self, tokens: np.ndarray) -> np.ndarray:
@@ -514,13 +644,11 @@ def compile_made(made: "MADE", dtype=None) -> MADEPlan:
         arrays, "output_layer", made.output_layer.mask, dtype
     )
 
-    digest = hashlib.sha256()
-    digest.update(np.asarray(made.positions, dtype=np.int64).tobytes())
-    for array in (out_weight, *embeddings, *(w for w, _ in trunk)):
-        digest.update(array.tobytes())
-
     positions = np.asarray(made.positions, dtype=np.int64).copy()
     positions.setflags(write=False)
+    fingerprint = plan_fingerprint(
+        positions, out_weight, embeddings, [w for w, _ in trunk]
+    )
     return MADEPlan(
         vocab_sizes=list(made.vocab_sizes),
         positions=positions,
@@ -531,5 +659,5 @@ def compile_made(made: "MADE", dtype=None) -> MADEPlan:
         out_weight=out_weight,
         out_bias=out_bias,
         dtype=dtype,
-        fingerprint=digest.hexdigest()[:16],
+        fingerprint=fingerprint,
     )

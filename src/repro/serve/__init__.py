@@ -10,13 +10,16 @@ Layers (each usable on its own):
 - :mod:`repro.serve.service` — the registry/cache/batcher/fallback
   orchestration;
 - :mod:`repro.serve.http` — the stdlib JSON-over-HTTP front end
-  (``python -m repro.serve`` starts it).
+  (``python -m repro.serve`` starts it);
+- :mod:`repro.serve.cluster` — multi-process sharded serving over
+  zero-copy shared plans (``python -m repro.serve --workers N``).
 
 See docs/serving.md for architecture and protocol.
 """
 
 from repro.serve.batcher import BatcherStats, MicroBatcher
 from repro.serve.cache import CacheStats, QueryCache
+from repro.serve.cluster import ClusterConfig, ClusterService
 from repro.serve.http import make_server, start_in_background
 from repro.serve.service import (
     EstimateResult,
@@ -25,11 +28,13 @@ from repro.serve.service import (
     ServedModel,
     query_seed,
 )
-from repro.serve.telemetry import LatencySeries, Telemetry
+from repro.serve.telemetry import LatencySeries, Telemetry, TelemetrySnapshot
 
 __all__ = [
     "BatcherStats",
     "CacheStats",
+    "ClusterConfig",
+    "ClusterService",
     "EstimateResult",
     "EstimationService",
     "LatencySeries",
@@ -38,6 +43,7 @@ __all__ = [
     "ServeConfig",
     "ServedModel",
     "Telemetry",
+    "TelemetrySnapshot",
     "make_server",
     "query_seed",
     "start_in_background",

@@ -4,12 +4,18 @@ Usage::
 
     python -m repro.serve                      # fit a demo IAM, serve :8080
     python -m repro.serve --port 9000 --dataset wisdm --rows 20000
+    python -m repro.serve --workers 4          # multi-process sharded pool
     python -m repro.serve --selftest           # CI smoke: fit, serve, verify
+    python -m repro.serve --selftest --workers 2   # multi-process smoke
 
 ``--selftest`` exercises the whole stack in-process — concurrent clients
 through micro-batching and the cache, bitwise-equality against the
 sequential reference, an HTTP round trip, and the degraded/timeout
-fallback — and exits nonzero on any violation.
+fallback — and exits nonzero on any violation.  With ``--workers N``
+(N > 1) the selftest instead drives the multi-process cluster: bitwise
+equality across worker processes, merged telemetry, an HTTP round trip,
+a SIGKILL/respawn cycle, the timeout-degrade path, and a shared-memory
+leak check.
 """
 
 from __future__ import annotations
@@ -38,14 +44,8 @@ _FAST_IAM = dict(
 )
 
 
-def build_demo_service(
-    dataset: str = "twi",
-    rows: int = 1500,
-    epochs: int | None = None,
-    config: ServeConfig | None = None,
-    quiet: bool = False,
-) -> EstimationService:
-    """Fit a small IAM on a synthetic dataset and serve it by name."""
+def _fit_demo_estimator(dataset: str, rows: int, epochs: int | None,
+                        quiet: bool = False):
     from repro.core.config import IAMConfig
     from repro.datasets import load_dataset
     from repro.estimators.iam import IAMEstimator
@@ -60,6 +60,40 @@ def build_demo_service(
     estimator = IAMEstimator(config=IAMConfig(**overrides)).fit(table)
     if not quiet:
         print(f"fitted in {time.perf_counter() - started:.1f}s", flush=True)
+    return estimator
+
+
+def build_demo_service(
+    dataset: str = "twi",
+    rows: int = 1500,
+    epochs: int | None = None,
+    config: ServeConfig | None = None,
+    quiet: bool = False,
+    workers: int = 1,
+    shard_policy: str = "replicate",
+) -> EstimationService:
+    """Fit a small IAM on a synthetic dataset and serve it by name.
+
+    ``workers > 1`` returns a started
+    :class:`~repro.serve.cluster.ClusterService` instead (same duck type
+    as far as the HTTP layer is concerned).
+    """
+    estimator = _fit_demo_estimator(dataset, rows, epochs, quiet=quiet)
+    if workers > 1:
+        from repro.serve.cluster import ClusterConfig, ClusterService
+
+        cluster = ClusterService(
+            ClusterConfig(
+                workers=workers,
+                shard_policy=shard_policy,
+                serve=config or ServeConfig(),
+            )
+        )
+        cluster.register(dataset, estimator)
+        if not quiet:
+            print(f"starting {workers} worker processes ...", flush=True)
+        cluster.start()
+        return cluster
     service = EstimationService(config=config)
     service.register(dataset, estimator)
     return service
@@ -209,6 +243,152 @@ class _Slowed:
         time.sleep(self._delay)
         return self._inner.estimate_batch(queries, rngs=rngs)
 
+    def runtime_plan(self):
+        return self._inner.runtime_plan()
+
+
+def run_cluster_selftest(
+    dataset: str = "twi",
+    rows: int = 1500,
+    workers: int = 2,
+    shard_policy: str = "replicate",
+) -> int:
+    """Multi-process smoke test; returns a process exit code.
+
+    Covers worker spawn/warmup, bitwise equality of concurrently served
+    answers against the in-parent sequential reference, merged
+    telemetry, an HTTP round trip, a SIGKILL/respawn cycle, the
+    timeout-degrade path, and a /dev/shm leak check on close.
+    """
+    import os
+    import signal
+
+    from repro.query.generator import QueryGenerator
+    from repro.serve.cluster import ClusterConfig, ClusterService, leaked_segments
+    from repro.serve.cluster.testing import SlowEstimator
+
+    baseline = leaked_segments()
+    estimator = _fit_demo_estimator(dataset, rows, epochs=None)
+    config = ClusterConfig(
+        workers=workers,
+        shard_policy=shard_policy,
+        heartbeat_interval_s=0.2,
+        serve=ServeConfig(max_batch_size=8, max_wait_ms=2.0, cache_entries=512),
+    )
+    failures: list[str] = []
+    service = ClusterService(config)
+    try:
+        service.register(dataset, estimator, fallback="sampling")
+        print(f"starting {workers} worker processes ...", flush=True)
+        service.start()
+
+        generator = QueryGenerator(estimator.table, seed=42)
+        queries = [generator.generate() for _ in range(10)]
+        reference = [service.estimate_sequential(dataset, q) for q in queries]
+
+        # Concurrent clients: every answer, from any worker, must equal
+        # the sequential reference bitwise.
+        results: dict[tuple[int, int], float] = {}
+        errors: list[str] = []
+        lock = threading.Lock()
+
+        def client(thread_id: int) -> None:
+            for qi, query in enumerate(queries):
+                try:
+                    r = service.estimate(dataset, query)
+                except Exception as exc:  # pragma: no cover - diagnostics
+                    with lock:
+                        errors.append(f"thread {thread_id}: {exc!r}")
+                    return
+                with lock:
+                    results[(thread_id, qi)] = r.selectivity
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            failures.append(f"client errors: {errors[:3]}")
+        mismatches = sum(1 for (_, qi), v in results.items() if v != reference[qi])
+        if mismatches:
+            failures.append(
+                f"{mismatches} cluster answers differ from sequential reference"
+            )
+
+        # Merged telemetry across worker processes.
+        metrics = service.metrics()
+        alive = [w for w in metrics["workers"] if w["alive"]]
+        if len(alive) != workers:
+            failures.append(f"expected {workers} live workers: {metrics['workers']}")
+        served = metrics["telemetry"]["counters"].get("requests", 0)
+        if served < len(results):
+            failures.append(
+                f"merged telemetry lost requests: {served} < {len(results)}"
+            )
+
+        # HTTP round trip straight onto the cluster service.
+        server = make_server(service, port=0)
+        start_in_background(server)
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            status, health = _http_json(f"{base}/healthz")
+            if status != 200 or health.get("status") != "ok":
+                failures.append(f"/healthz returned {status}: {health}")
+            predicates = [[p.column, p.op.value, float(p.value)] for p in queries[0]]
+            status, body = _http_json(
+                f"{base}/estimate", {"model": dataset, "predicates": predicates}
+            )
+            if status != 200:
+                failures.append(f"/estimate returned {status}: {body}")
+            elif body["selectivity"] != reference[0]:
+                failures.append("HTTP selectivity differs from sequential reference")
+        finally:
+            server.shutdown()
+            server.server_close()
+
+        # SIGKILL one worker mid-flight: the monitor must respawn it and
+        # answers must stay bitwise-identical throughout.
+        victim = service.pool.workers()[0].process.pid
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.perf_counter() + 30.0
+        while service.pool.restarts() < 1 and time.perf_counter() < deadline:
+            time.sleep(0.05)
+        if service.pool.restarts() < 1:
+            failures.append("killed worker was never respawned")
+        after = [service.estimate(dataset, q).selectivity for q in queries]
+        if after != reference:
+            failures.append("answers diverged after worker respawn")
+
+        # Timeout-degrade path through the cluster router.  (_Slowed is
+        # defined in this __main__ module, which spawn children cannot
+        # re-import; SlowEstimator lives in an importable module.)
+        service.register(
+            "slow", SlowEstimator(estimator, delay_seconds=0.3), fallback="sampling"
+        )
+        degraded = service.estimate("slow", queries[0], timeout_ms=15.0)
+        if not degraded.degraded or degraded.source != "fallback":
+            failures.append(f"timeout did not degrade: {degraded.as_dict()}")
+    finally:
+        service.close()
+
+    leaks = [s for s in leaked_segments() if s not in baseline]
+    if leaks:
+        failures.append(f"leaked shared-memory segments: {leaks}")
+
+    if failures:
+        print("CLUSTER SELFTEST FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        "cluster selftest ok: "
+        f"{workers} workers ({shard_policy}), "
+        f"{len(results)} concurrent answers bitwise-equal, "
+        f"{service.pool.restarts()} respawn(s), no leaked segments"
+    )
+    return 0
+
 
 # ----------------------------------------------------------------------
 def main(argv: list[str] | None = None) -> int:
@@ -227,11 +407,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
     parser.add_argument("--cache-ttl", type=float, default=None,
                         help="result cache TTL in seconds")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes; >1 serves through the "
+                             "multi-process cluster")
+    parser.add_argument("--shard-policy", choices=["replicate", "hash"],
+                        default="replicate",
+                        help="request routing across workers")
     parser.add_argument("--selftest", action="store_true",
                         help="run the end-to-end smoke test and exit")
     args = parser.parse_args(argv)
 
     if args.selftest:
+        if args.workers > 1:
+            return run_cluster_selftest(
+                args.dataset, rows=args.rows,
+                workers=args.workers, shard_policy=args.shard_policy,
+            )
         return run_selftest(args.dataset, rows=args.rows)
 
     config = ServeConfig(
@@ -241,7 +432,8 @@ def main(argv: list[str] | None = None) -> int:
         cache_ttl_seconds=args.cache_ttl,
     )
     service = build_demo_service(
-        args.dataset, rows=args.rows, epochs=args.epochs, config=config
+        args.dataset, rows=args.rows, epochs=args.epochs, config=config,
+        workers=args.workers, shard_policy=args.shard_policy,
     )
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]

@@ -1,0 +1,41 @@
+"""Picklable helpers for cluster smoke tests and selftests.
+
+Worker processes are spawned, and ``python -m repro.serve`` runs as a
+``*.__main__`` module that CPython's spawn bootstrap deliberately does
+not re-import in children — so any estimator wrapper that must cross
+the pipe has to live in a plainly importable module like this one.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class SlowEstimator:
+    """Delegate to a fitted estimator, adding fixed latency per call.
+
+    Used to exercise the timeout-degrade and load-shedding paths: the
+    delay is long enough for a deadline to expire (or a queue to fill)
+    while the wrapped estimator still produces the deterministic
+    reference answer whenever it is allowed to finish.
+    """
+
+    def __init__(self, inner, delay_seconds: float):
+        self._inner = inner
+        self._delay = delay_seconds
+        self.name = f"slow-{getattr(inner, 'name', 'estimator')}"
+
+    @property
+    def table(self):
+        return self._inner.table
+
+    def runtime_plan(self):
+        return self._inner.runtime_plan()
+
+    def estimate(self, query):
+        time.sleep(self._delay)
+        return self._inner.estimate(query)
+
+    def estimate_batch(self, queries, rngs=None):
+        time.sleep(self._delay)
+        return self._inner.estimate_batch(queries, rngs=rngs)

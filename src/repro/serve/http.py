@@ -19,7 +19,7 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.errors import QueryError, ServeError, UnknownModelError
+from repro.errors import OverloadError, QueryError, ServeError, UnknownModelError
 from repro.query.query import Query
 from repro.serve.service import EstimationService
 
@@ -95,6 +95,10 @@ class ServeHandler(BaseHTTPRequestHandler):
         except (QueryError, KeyError) as exc:
             # e.g. predicates referencing columns the table lacks
             self._send(400, {"error": str(exc)})
+            return
+        except OverloadError as exc:
+            # admission control shed the request (no fallback registered)
+            self._send(429, {"error": str(exc)})
             return
         except ServeError as exc:
             self._send(503, {"error": str(exc)})

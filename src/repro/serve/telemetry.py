@@ -4,6 +4,14 @@ Latencies are kept in a bounded per-series reservoir (the most recent
 ``window`` observations) from which p50/p95/p99 are computed on demand —
 cheap enough for a ``/metrics`` endpoint polled by humans, with bounded
 memory under sustained traffic.
+
+Multi-process aggregation: :meth:`Telemetry.export` captures the full
+state (counters plus reservoir samples, not just percentiles) as a
+picklable :class:`TelemetrySnapshot`; snapshots from several worker
+processes :meth:`~TelemetrySnapshot.merge` into one view whose counters
+are sums and whose percentiles are computed over the pooled reservoirs —
+what a sharded ``/metrics`` endpoint reports instead of only the
+parent's numbers.
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ from __future__ import annotations
 import math
 import threading
 from collections import deque
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 
@@ -36,15 +45,28 @@ class LatencySeries:
         self._recent.append(ms)
 
     def summary(self) -> dict:
-        ordered = sorted(self._recent)
-        out = {
-            "count": self.count,
-            "mean_ms": round(self.total_ms / self.count, 3) if self.count else 0.0,
-            "max_ms": round(self.max_ms, 3),
-        }
-        for label, q in _QUANTILES:
-            out[f"{label}_ms"] = round(_quantile(ordered, q), 3)
-        return out
+        return _series_summary(self.count, self.total_ms, self.max_ms, self._recent)
+
+    def state(self) -> "SeriesState":
+        """Mergeable snapshot: lifetime stats plus the raw reservoir."""
+        return SeriesState(
+            count=self.count,
+            total_ms=self.total_ms,
+            max_ms=self.max_ms,
+            recent=list(self._recent),
+        )
+
+
+def _series_summary(count: int, total_ms: float, max_ms: float, recent) -> dict:
+    ordered = sorted(recent)
+    out = {
+        "count": count,
+        "mean_ms": round(total_ms / count, 3) if count else 0.0,
+        "max_ms": round(max_ms, 3),
+    }
+    for label, q in _QUANTILES:
+        out[f"{label}_ms"] = round(_quantile(ordered, q), 3)
+    return out
 
 
 def _quantile(ordered: list[float], q: float) -> float:
@@ -53,6 +75,60 @@ def _quantile(ordered: list[float], q: float) -> float:
         return 0.0
     rank = max(math.ceil(q * len(ordered)), 1) - 1
     return ordered[min(rank, len(ordered) - 1)]
+
+
+@dataclass
+class SeriesState:
+    """One latency series' mergeable state (picklable, JSON-safe)."""
+
+    count: int = 0
+    total_ms: float = 0.0
+    max_ms: float = 0.0
+    recent: list[float] = field(default_factory=list)
+
+    def merge(self, other: "SeriesState") -> None:
+        self.count += other.count
+        self.total_ms += other.total_ms
+        self.max_ms = max(self.max_ms, other.max_ms)
+        self.recent.extend(other.recent)
+
+    def summary(self) -> dict:
+        return _series_summary(self.count, self.total_ms, self.max_ms, self.recent)
+
+
+@dataclass
+class TelemetrySnapshot:
+    """A telemetry capture that can absorb captures from other processes.
+
+    Counters merge by summation; latency series merge by summing the
+    lifetime stats and *pooling* the reservoirs, so merged percentiles
+    are computed over the union of the workers' recent samples (bounded
+    by ``workers × window``) — not averaged percentiles, which would be
+    statistically meaningless.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    series: dict[str, SeriesState] = field(default_factory=dict)
+
+    def merge(self, other: "TelemetrySnapshot") -> "TelemetrySnapshot":
+        """Fold ``other`` into this snapshot and return ``self``."""
+        for name, amount in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + amount
+        for name, state in other.series.items():
+            mine = self.series.get(name)
+            if mine is None:
+                mine = self.series[name] = SeriesState()
+            mine.merge(state)
+        return self
+
+    def as_dict(self) -> dict:
+        """The JSON shape :meth:`Telemetry.snapshot` has always served."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "latency": {
+                name: state.summary() for name, state in sorted(self.series.items())
+            },
+        }
 
 
 class Telemetry:
@@ -81,14 +157,17 @@ class Telemetry:
 
     def snapshot(self) -> dict:
         """JSON-ready view: {'counters': {...}, 'latency': {name: {...}}}."""
+        return self.export().as_dict()
+
+    def export(self) -> TelemetrySnapshot:
+        """Full mergeable state — ship between processes, then ``merge``."""
         with self._lock:
-            return {
-                "counters": dict(sorted(self._counters.items())),
-                "latency": {
-                    name: series.summary()
-                    for name, series in sorted(self._latencies.items())
+            return TelemetrySnapshot(
+                counters=dict(self._counters),
+                series={
+                    name: series.state() for name, series in self._latencies.items()
                 },
-            }
+            )
 
     def reset(self) -> None:
         with self._lock:

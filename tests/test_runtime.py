@@ -124,6 +124,40 @@ class TestMADEPlan:
         made.output_layer.weight.data -= 0.25
         assert compile_made(made).fingerprint == first
 
+    def test_buffer_export_roundtrip_is_bitwise_and_zero_copy(self):
+        made = make_model("resmade")
+        plan = compile_made(made)
+        meta, arrays = plan.to_buffers()
+        assert meta["fingerprint"] == plan.fingerprint
+        # export is by reference, import adopts the arrays: no copies
+        rebuilt = MADEPlan.from_buffers(meta, arrays)
+        assert rebuilt.fingerprint == plan.fingerprint
+        assert rebuilt.out_weight is arrays["out_weight"]
+        tokens, wildcard = random_inputs(16, seed=9)
+        assert np.array_equal(
+            plan.forward_logits(tokens, wildcard),
+            rebuilt.forward_logits(tokens, wildcard),
+        )
+
+    def test_from_buffers_verifies_fingerprint(self):
+        made = make_model("made")
+        plan = compile_made(made)
+        meta, arrays = plan.to_buffers()
+        tampered = dict(arrays)
+        tampered["out_weight"] = arrays["out_weight"] + 1.0
+        with pytest.raises(ConfigError, match="fingerprint"):
+            MADEPlan.from_buffers(meta, tampered)
+        # verify=False skips the hash (trusted same-process handoff)
+        assert MADEPlan.from_buffers(meta, tampered, verify=False)
+
+    def test_from_buffers_rejects_missing_arrays(self):
+        made = make_model("made")
+        plan = compile_made(made)
+        meta, arrays = plan.to_buffers()
+        incomplete = {k: v for k, v in arrays.items() if k != "positions"}
+        with pytest.raises(ConfigError, match="missing"):
+            MADEPlan.from_buffers(meta, incomplete)
+
     def test_workspace_buffers_are_reused(self):
         made = make_model("resmade")
         plan = compile_made(made)

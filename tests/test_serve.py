@@ -136,6 +136,46 @@ class TestTelemetry:
         assert summary["p50_ms"] >= 990.0  # percentiles reflect the window
 
 
+class TestTelemetryMerge:
+    """Multi-process aggregation: snapshots merge, not just the parent's."""
+
+    def _loaded(self, requests: int, base_ms: float) -> Telemetry:
+        telemetry = Telemetry()
+        telemetry.increment("requests", requests)
+        for i in range(requests):
+            telemetry.observe_ms("estimate", base_ms + i)
+        return telemetry
+
+    def test_counters_sum_across_workers(self):
+        merged = self._loaded(3, 1.0).export()
+        merged.merge(self._loaded(5, 1.0).export())
+        merged.merge(Telemetry().export())  # empty worker is a no-op
+        assert merged.as_dict()["counters"] == {"requests": 8}
+
+    def test_latency_reservoirs_pool_rather_than_average(self):
+        # worker A: 1..100ms, worker B: 1001..1100ms. Pooled p50 must sit
+        # at the boundary of the union, not at either worker's median.
+        merged = self._loaded(100, 1.0).export()
+        merged.merge(self._loaded(100, 1001.0).export())
+        summary = merged.as_dict()["latency"]["estimate"]
+        assert summary["count"] == 200
+        assert summary["p50_ms"] == 100.0
+        assert summary["p99_ms"] == 1098.0
+        assert summary["max_ms"] == 1100.0
+
+    def test_merge_returns_self_and_chains(self):
+        snapshot = self._loaded(1, 5.0).export()
+        chained = snapshot.merge(self._loaded(1, 7.0).export()).merge(
+            self._loaded(1, 9.0).export()
+        )
+        assert chained is snapshot
+        assert chained.as_dict()["counters"] == {"requests": 3}
+
+    def test_snapshot_shape_is_unchanged_by_export_path(self):
+        telemetry = self._loaded(4, 2.0)
+        assert telemetry.snapshot() == telemetry.export().as_dict()
+
+
 # ----------------------------------------------------------------------
 # MicroBatcher
 # ----------------------------------------------------------------------
