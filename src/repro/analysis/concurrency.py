@@ -588,7 +588,7 @@ class PlanImmutabilityRule(ProjectRule):
     # Attribute rebinds are forbidden on plans; caches may bump counters
     # but every array they store must still be frozen.
     frozen_classes: tuple[str, ...] = ("MADEPlan",)
-    freeze_classes: tuple[str, ...] = ("MADEPlan", "RangeMassCache")
+    freeze_classes: tuple[str, ...] = ("MADEPlan", "RangeMassCache", "PrefixCache")
 
     def __init__(
         self,

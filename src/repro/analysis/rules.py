@@ -801,13 +801,12 @@ class RuntimeTensorRule(FileRule):
         for stmt in pf.tree.body:
             if isinstance(stmt, ast.ClassDef) and stmt.name == "ProgressiveSampler":
                 for item in stmt.body:
-                    if (
-                        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
-                        and item.name == "sample_weights"
-                    ):
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and item.name in ("sample_weights", "_sample_group"):
                         yield from self._scan(
                             pf, item,
-                            "ProgressiveSampler.sample_weights is the inference hot loop",
+                            f"ProgressiveSampler.{item.name} is the inference hot loop",
                         )
 
     def _scan(self, pf: ParsedFile, root: ast.AST, why: str) -> Iterable[Finding]:
@@ -822,6 +821,86 @@ class RuntimeTensorRule(FileRule):
                     "keep Tensors in training code and execute through "
                     "repro.runtime plans here",
                 )
+
+
+# ---------------------------------------------------------------------------
+# batch-loop-fallback
+# ---------------------------------------------------------------------------
+
+
+class BatchLoopFallbackRule(FileRule):
+    """``estimate_batch`` must not degrade into a per-query Python loop.
+
+    The batch entry point exists so queries share stacked forward passes
+    (the signature-grouped sampler driver); an implementation that walks
+    the batch calling a per-query estimator throws that away silently —
+    results stay correct, only throughput regresses to the single-query
+    path.  Flags ``for``/comprehension loops over the queries parameter
+    whose body calls an ``estimate``-family function.  The one sanctioned
+    loop — the :class:`~repro.estimators.base.Estimator` default fallback
+    for estimators without a shared forward pass — carries an explicit
+    ``repro: noqa`` marker.
+    """
+
+    id = "batch-loop-fallback"
+    severity = Severity.ERROR
+    description = "per-query estimation loop inside estimate_batch bypasses the grouped driver"
+    category = "runtime"
+    # Scope-aware: the engine's flat walk cannot tell which function a
+    # loop sits in, so the rule does its own subtree scans in finish_file.
+    node_types = ()
+
+    def finish_file(self, pf: ParsedFile) -> Iterable[Finding]:
+        for node in ast.walk(pf.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == "estimate_batch"
+            ):
+                yield from self._scan(pf, node)
+
+    def _scan(self, pf: ParsedFile, fn: ast.AST) -> Iterable[Finding]:
+        params = [a.arg for a in (*fn.args.posonlyargs, *fn.args.args)]
+        if params and params[0] in ("self", "cls"):
+            params = params[1:]
+        if not params:
+            return
+        queries = params[0]
+        for node in ast.walk(fn):
+            if isinstance(node, ast.For):
+                loops_queries = self._mentions(node.iter, queries)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+                loops_queries = any(
+                    self._mentions(gen.iter, queries) for gen in node.generators
+                )
+            else:
+                continue
+            if loops_queries and self._calls_estimate(node):
+                yield self.make_finding(
+                    pf, node,
+                    f"estimate_batch loops over {queries!r} calling a per-query "
+                    "estimator; route the whole batch through the grouped "
+                    "driver (estimate_batch/estimate_many on the inner model) "
+                    "so queries share stacked forward passes",
+                )
+
+    @staticmethod
+    def _mentions(expr: ast.AST, name: str) -> bool:
+        return any(
+            isinstance(node, ast.Name) and node.id == name
+            for node in ast.walk(expr)
+        )
+
+    @staticmethod
+    def _calls_estimate(root: ast.AST) -> bool:
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is not None and dotted.split(".")[-1].lstrip("_").startswith(
+                "estimate"
+            ):
+                return True
+        return False
 
 
 # ---------------------------------------------------------------------------
@@ -849,6 +928,7 @@ RULES: dict[str, type[Rule]] = {
         HotLoopAllocRule,
         ShadowedExportRule,
         RuntimeTensorRule,
+        BatchLoopFallbackRule,
         GuardedByRule,
         LockOrderRule,
         PlanImmutabilityRule,

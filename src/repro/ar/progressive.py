@@ -154,6 +154,20 @@ class ProgressiveSampler:
         self.n_samples = n_samples
         self.stratify_first = stratify_first
         self._rng = ensure_rng(seed)
+        # Grouping stats for the most recent sample_weights call: one
+        # entry per signature group, holding the number of queries it
+        # coalesced. Read by the serving layer (under the model lock,
+        # like every other sampler access) to feed batch telemetry.
+        self.last_groups: list[int] = []
+
+    def batch_stats(self) -> dict:
+        """Signature-grouping stats for the last :meth:`sample_weights`."""
+        groups = self.last_groups
+        return {
+            "groups": len(groups),
+            "queries": sum(groups),
+            "largest_group": max(groups) if groups else 0,
+        }
 
     # ------------------------------------------------------------------
     def estimate(self, constraints: Sequence[SlotConstraint | None]) -> float:
@@ -210,6 +224,17 @@ class ProgressiveSampler:
         single-query runs (the AR forward pass is row-wise deterministic,
         and wildcard skipping keeps each query's rows independent).
         Without ``rngs`` the sampler's own stateful stream is used.
+
+        Batches execute column-by-column across queries, not
+        query-by-query: queries are grouped by *constrained-column
+        signature* (the tuple of columns they constrain, in AR order)
+        and each group runs one stacked ``(group * n_samples, hidden)``
+        trunk program per AR step.  Within a group every constrained
+        column is active for every row, so the driver works on pure
+        views — no gather copies, no per-query forward passes.  Grouping
+        does not change any query's draws: the forward pass is row-wise
+        deterministic and each query consumes its own generator exactly
+        as it would alone.
         """
         model = self.spec
         n_queries = len(queries)
@@ -224,146 +249,249 @@ class ProgressiveSampler:
                     f"expected {model.n_columns} constraints per query, "
                     f"got {len(constraints)}"
                 )
-        batch = n_queries * ns
-        # `tokens` is internal scratch (never escapes this call) so it can
-        # live in the workspace; `weights` is returned to the caller and
-        # must be a fresh array each call.
-        tokens = self._workspace.get("tokens", (batch, model.n_columns), np.int64)
-        tokens[:] = model.wildcard_ids
-        weights = np.ones(batch, dtype=self.dtype)
-        first_sampled = np.zeros(n_queries, dtype=bool)  # stratification state
-        nothing_sampled = True  # until the first draws land in `tokens`
 
+        # Group query indices by signature, preserving first-seen order
+        # (deterministic for telemetry and for the shared-stream path).
+        groups: dict[tuple[int, ...], list[int]] = {}
+        ar_order = self._ar_order
+        for qi, constraints in enumerate(queries):
+            signature = tuple(
+                [c for c in ar_order if constraints[c] is not None]
+            )
+            groups.setdefault(signature, []).append(qi)
+        self.last_groups = [len(indices) for indices in groups.values()]
+
+        # Workspace buffers are sized to the whole call so every group
+        # shares one allocation regardless of its size.
+        capacity = n_queries * ns
+        out = np.empty((n_queries, ns), dtype=self.dtype)
         # The autodiff guard only matters on the Module backend; the plan
         # path is pure numpy and skips the (measurable) enter/exit cost.
         with no_grad() if self.plan is None else nullcontext():
-            for column in self._ar_order:
-                active = [q[column] is not None for q in queries]
-                if not any(active):
-                    continue  # wildcard skipping: no factor, no sampling
-                vocab = model.vocab_sizes[column]
+            for signature, indices in groups.items():
+                group_rngs = None if rngs is None else [rngs[qi] for qi in indices]
+                out[indices] = self._sample_group(
+                    signature,
+                    [queries[qi] for qi in indices],
+                    group_rngs,
+                    capacity,
+                )
+        return out
 
-                # Wildcard skipping survives batching: only the rows whose
-                # query constrains this column get a forward pass. When
-                # every query does, operate on views, not gather copies.
-                if all(active):
-                    row_sel: slice | np.ndarray = slice(None)
-                    sub_tokens = tokens
-                    n_rows = batch
+    def _sample_group(
+        self,
+        columns: tuple[int, ...],
+        queries: Sequence[Sequence[SlotConstraint | None]],
+        rngs: Sequence[np.random.Generator] | None,
+        capacity: int,
+    ) -> np.ndarray:
+        """Sample one signature group: every query constrains ``columns``.
+
+        Returns ``(len(queries), n_samples)`` raw weights. All rows are
+        active at every step (that is what the signature guarantees), so
+        the whole group is one stacked forward pass per AR column.  While
+        every draw so far has been deterministic (equality-style
+        constraints resolve a one-hot mass), the context is a pure
+        function of (weights, prefix) and the logits come from the
+        plan's shared :class:`~repro.runtime.plan.PrefixCache` instead
+        of the trunk.
+        """
+        model = self.spec
+        g = len(queries)
+        ns = self.n_samples
+        n_rows = g * ns
+        # `tokens` is internal scratch (never escapes this call) so it
+        # lives in the workspace — a leading view of the capacity-sized
+        # buffer, shared across groups; the result is a fresh array.
+        tokens = self._workspace.get(
+            "tokens", (capacity, model.n_columns), np.int64
+        )[:n_rows]
+        tokens[:] = model.wildcard_ids
+        weights = np.ones(n_rows, dtype=self.dtype)
+        first_column = True  # stratification applies to the first step only
+        # Constrained-prefix tracking: while every draw so far has been
+        # the same token for every row, the context is describable as a
+        # (column, token) prefix and cacheable across queries.
+        prefix: tuple = ()
+        prefix_usable = self.plan is not None
+        # Per-query streams only: all of a query's categorical uniforms
+        # are drawn in ONE generator call at its first uniform step (the
+        # generator fills a block with exactly the doubles the
+        # per-column calls would consume, in the same order), so the
+        # column loop does no per-query generator work. The shared
+        # stream (rngs is None) cannot hoist: its consumption order
+        # interleaves queries within each column.
+        uniforms: np.ndarray | None = None
+        u_index = 0
+
+        for column in columns:
+            vocab = model.vocab_sizes[column]
+
+            # No wildcard mask: unsampled columns hold their wildcard
+            # id in `tokens`, which is exactly what the mask would
+            # substitute — both backends skip that work bitwise-free.
+            # Both feed one in-place softmax, so the plan path is
+            # bitwise-equal to the Module path by shared code.
+            if self.plan is not None:
+                if prefix_usable:
+                    # Cached post-softmax conditional: read-only on a
+                    # hit (only ever read below — every branch derives
+                    # fresh arrays from `probs`).
+                    probs = self.plan.forward_prefix_probs(
+                        column,
+                        prefix,
+                        n_rows,
+                        workspace=self._workspace,
+                        capacity=capacity,
+                    )
                 else:
-                    sampled_rows = np.zeros(batch, dtype=bool)
-                    for qi, is_active in enumerate(active):
-                        if is_active:
-                            sampled_rows[qi * ns : (qi + 1) * ns] = True
-                    row_sel = np.flatnonzero(sampled_rows)
-                    sub_tokens = tokens[row_sel]
-                    n_rows = len(row_sel)
-
-                # No wildcard mask: unsampled columns hold their wildcard
-                # id in `tokens`, which is exactly what the mask would
-                # substitute — both backends skip that work bitwise-free.
-                # Both feed one in-place softmax, so the plan path is
-                # bitwise-equal to the Module path by shared code.
-                if self.plan is not None:
-                    if nothing_sampled:
-                        # Every token still holds its wildcard id, so the
-                        # logits depend only on the weights — served from
-                        # the plan's memo instead of running the trunk.
-                        logits = self.plan.forward_slice_wildcard(
-                            column, n_rows, workspace=self._workspace
+                    probs = softmax_inplace(
+                        self.plan.forward_slice(
+                            column,
+                            tokens,
+                            workspace=self._workspace,
+                            capacity=capacity,
                         )
-                    else:
-                        logits = self.plan.forward_slice(
-                            column, sub_tokens, workspace=self._workspace
-                        )
-                else:
-                    logits = self.model.column_logits(column, sub_tokens).numpy()
-                probs = softmax_inplace(logits)
+                    )
+            else:
+                probs = softmax_inplace(
+                    self.model.column_logits(column, tokens).numpy()
+                )
 
-                # `mass` stays unmaterialised while no active constraint
-                # resolves one (all-ones mass would multiply away anyway),
-                # and a single covering mass is used as-is — no template.
-                resolved_at = []  # (row offset in the active block, mass)
-                position = 0
-                for qi, constraints in enumerate(queries):
-                    constraint = constraints[column]
-                    if constraint is None:
-                        continue
-                    sub = tokens[qi * ns : (qi + 1) * ns]
-                    resolved = constraint.resolve_mass(sub, vocab, dtype=self.dtype)
-                    if resolved is not None:
-                        resolved_at.append((position, resolved))
-                    position += ns
+            # `mass` stays unmaterialised while no constraint resolves
+            # one (all-ones mass would multiply away anyway), and a
+            # single covering mass is used as-is — no template.
+            resolved_at = []  # (row offset in the group block, mass)
+            position = 0
+            for constraints in queries:
+                sub = tokens[position : position + ns]
+                resolved = constraints[column].resolve_mass(
+                    sub, vocab, dtype=self.dtype
+                )
+                if resolved is not None:
+                    resolved_at.append((position, resolved))
+                position += ns
 
-                # Per Section 5.2: the range probability is the factor.
-                # Rows whose constraint has no mass (e.g. fanout slots)
-                # sample from the full conditional with factor 1.
-                if not resolved_at:
-                    weighted = probs
-                    valid = probs.sum(axis=1)
-                elif len(resolved_at) * ns == n_rows:  # every row carries mass
-                    if len(resolved_at) == 1:
-                        mass = resolved_at[0][1]
-                    else:
-                        mass = np.empty((n_rows, vocab), dtype=self.dtype)
-                        for offset, resolved in resolved_at:
-                            mass[offset : offset + ns] = resolved
-                    weighted = probs * mass
-                    valid = weighted.sum(axis=1)
-                    weights[row_sel] *= valid
+            # Per Section 5.2: the range probability is the factor.
+            # Rows whose constraint has no mass (e.g. fanout slots)
+            # sample from the full conditional with factor 1.
+            if not resolved_at:
+                weighted = probs
+                valid = probs.sum(axis=1)
+            elif len(resolved_at) * ns == n_rows:  # every row carries mass
+                if len(resolved_at) == 1:
+                    weighted = probs * resolved_at[0][1]
                 else:
-                    mass = np.ones((n_rows, vocab), dtype=self.dtype)
-                    has_mass = np.zeros(n_rows, dtype=bool)
+                    # Per-query multiplies straight into the output:
+                    # elementwise, so bitwise-equal to assembling the
+                    # (n_rows, vocab) mass block and multiplying once,
+                    # minus that block's allocation and fill pass.
+                    weighted = np.empty((n_rows, vocab), dtype=self.dtype)
                     for offset, resolved in resolved_at:
-                        mass[offset : offset + ns] = resolved
-                        has_mass[offset : offset + ns] = True
-                    weighted = probs * mass
-                    valid = weighted.sum(axis=1)
-                    current = weights[row_sel]
-                    weights[row_sel] = np.where(has_mass, current * valid, current)
+                        rows = slice(offset, offset + ns)
+                        np.multiply(probs[rows], resolved, out=weighted[rows])
+                valid = weighted.sum(axis=1)
+                weights *= valid
+            else:
+                # Mass-free rows keep their conditional untouched
+                # (multiplying by an all-ones mass is exact), so start
+                # from a copy and overwrite only the rows with mass.
+                weighted = probs.copy()
+                has_mass = np.zeros(n_rows, dtype=bool)
+                for offset, resolved in resolved_at:
+                    rows = slice(offset, offset + ns)
+                    np.multiply(probs[rows], resolved, out=weighted[rows])
+                    has_mass[rows] = True
+                valid = weighted.sum(axis=1)
+                weights[:] = np.where(has_mass, weights * valid, weights)
 
+            # One min-reduce guards the (rare) dead-row path; the fast
+            # path skips materialising the boolean mask entirely.
+            if np.amin(valid) <= 0.0:
                 dead = valid <= 0.0
-                if dead.any():
-                    safe = np.where(dead, 1.0, valid)
-                    distribution = weighted / safe[:, None]
-                    distribution[dead] = probs[dead]  # arbitrary; weight is 0
-                elif weighted is probs:
-                    distribution = weighted / valid[:, None]
-                else:
-                    distribution = np.divide(weighted, valid[:, None], out=weighted)
+                safe = np.where(dead, 1.0, valid)
+                distribution = weighted / safe[:, None]
+                distribution[dead] = probs[dead]  # arbitrary; weight is 0
+            elif weighted is probs:
+                distribution = weighted / valid[:, None]
+            else:
+                distribution = np.divide(weighted, valid[:, None], out=weighted)
 
-                if self.stratify_first or rngs is not None:
-                    draws = np.empty(n_rows, dtype=np.int64)
-                    position = 0
-                    for qi, is_active in enumerate(active):
-                        if not is_active:
-                            continue
-                        rng = self._rng if rngs is None else rngs[qi]
-                        rows = slice(position, position + ns)
-                        if self.stratify_first and not first_sampled[qi]:
-                            draws[rows] = _systematic_rows(distribution[rows], rng)
-                            first_sampled[qi] = True
-                        else:
-                            draws[rows] = _sample_rows(distribution[rows], rng)
-                        position += ns
-                else:
-                    draws = _sample_rows(distribution, self._rng)
-
-                tokens[row_sel, column] = draws
-                nothing_sampled = False
-
+            if self.stratify_first and first_column:
+                draws = np.empty(n_rows, dtype=np.int64)
                 position = 0
-                for qi, constraints in enumerate(queries):
-                    constraint = constraints[column]
-                    if constraint is None:
-                        continue
-                    if constraint.scale is not None:
-                        rows = slice(position, position + self.n_samples)
-                        target = slice(qi * self.n_samples, (qi + 1) * self.n_samples)
-                        weights[target] *= constraint.scale(draws[rows])
-                    position += self.n_samples
+                for qi in range(g):
+                    rng = self._rng if rngs is None else rngs[qi]
+                    rows = slice(position, position + ns)
+                    draws[rows] = _systematic_rows(distribution[rows], rng)
+                    position += ns
+            elif self.stratify_first or rngs is not None:
+                # Per-query streams, group-level arithmetic: the cdf and
+                # the comparison are row-wise ops, so computing them on
+                # the stacked block is bitwise-identical to per-query
+                # `_sample_rows` slices; only the uniforms must come
+                # from each query's own generator, in query order.
+                cdf = np.cumsum(distribution, axis=1)
+                cdf[:, -1] = 1.0  # guard floating-point undershoot
+                if rngs is not None:
+                    if uniforms is None:
+                        # Remaining uniform steps, this one included —
+                        # the stratified first column (if any) consumed
+                        # its systematic draws already, so each query's
+                        # block starts exactly where its per-column
+                        # stream would.
+                        remaining = len(columns) - columns.index(column)
+                        uniforms = self._workspace.get(
+                            "uniforms",
+                            (model.n_columns, capacity, 1),
+                            np.float64,
+                        )[:remaining, :n_rows]
+                        position = 0
+                        for qi in range(g):
+                            uniforms[:, position : position + ns] = rngs[
+                                qi
+                            ].uniform(size=(remaining, ns, 1))
+                            position += ns
+                    u = uniforms[u_index]
+                    u_index += 1
+                else:
+                    u = self._workspace.get(
+                        "uniforms", (model.n_columns, capacity, 1), np.float64
+                    )[0, :n_rows]
+                    position = 0
+                    for qi in range(g):
+                        u[position : position + ns] = self._rng.uniform(
+                            size=(ns, 1)
+                        )
+                        position += ns
+                draws = (u > cdf).sum(axis=1, dtype=np.int64)
+            else:
+                draws = _sample_rows(distribution, self._rng)
 
-        return weights.reshape(n_queries, self.n_samples)
+            tokens[:, column] = draws
+            first_column = False
+
+            if prefix_usable and column != columns[-1]:
+                # Extend the cacheable prefix only when the draw was the
+                # same token on every row (verified on the actual draws,
+                # so cached contexts are exact by construction). The
+                # group's last column skips the check: the extended
+                # prefix has no next step to consume it.
+                token = int(draws[0])
+                if (draws == token).all():
+                    prefix = prefix + ((column, token),)
+                else:
+                    prefix_usable = False
+
+            position = 0
+            for constraints in queries:
+                constraint = constraints[column]
+                if constraint.scale is not None:
+                    rows = slice(position, position + ns)
+                    weights[rows] *= constraint.scale(draws[rows])
+                position += ns
+
+        return weights.reshape(g, ns)
 
 
 def _sample_rows(distribution: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -371,7 +499,7 @@ def _sample_rows(distribution: np.ndarray, rng: np.random.Generator) -> np.ndarr
     cdf = np.cumsum(distribution, axis=1)
     cdf[:, -1] = 1.0  # guard floating-point undershoot
     u = rng.uniform(size=(len(distribution), 1))
-    return (u > cdf).sum(axis=1).astype(np.int64)
+    return (u > cdf).sum(axis=1, dtype=np.int64)
 
 
 def _systematic_rows(distribution: np.ndarray, rng: np.random.Generator) -> np.ndarray:

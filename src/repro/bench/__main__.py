@@ -131,6 +131,54 @@ def cmd_inference(args) -> int:
     return 0
 
 
+def cmd_inference_batch(args) -> int:
+    """Cross-query batching gate: grouped estimate_batch vs per-query loop.
+
+    Writes ``BENCH_inference_batch.json`` (per-batch-size latencies,
+    signature-group shapes, prefix-cache stats, and the bitwise flags)
+    and exits nonzero if the grouped driver ever disagrees bitwise with
+    the per-query loop / sequential serving, or if the batch-32 speedup
+    falls under 3x — CI runs this with ``--smoke``.
+    """
+    if args.smoke:
+        # Must happen before any driver reads bench_scale() (it is lazy).
+        os.environ["REPRO_BENCH_SCALE"] = "micro"
+    dataset = _single_dataset(args)
+    headers, rows, summary = experiments.inference_batch(dataset)
+    record_table(
+        f"inference_batch_{dataset}", headers, rows,
+        title=f"Signature-grouped batch inference on {dataset.upper()} "
+              f"(speedup at 32 {summary['speedup_at_32']:.1f}x, "
+              f"bitwise_equal={summary['bitwise_equal']})",
+    )
+    out = args.output or "BENCH_inference_batch.json"
+    with open(out, "w") as fh:
+        json.dump(summary, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+    failed = False
+    if not summary["bitwise_equal"]:
+        print(
+            "ERROR: grouped estimate_batch diverges from the per-query loop",
+            file=sys.stderr,
+        )
+        failed = True
+    if not summary["threaded"]["bitwise_equal"]:
+        print(
+            "ERROR: threaded served batches diverge from sequential estimates",
+            file=sys.stderr,
+        )
+        failed = True
+    if summary["speedup_at_32"] < 3.0:
+        print(
+            f"ERROR: batch-32 grouped speedup {summary['speedup_at_32']:.2f}x "
+            "is under the 3x gate",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
 def cmd_training(args) -> int:
     """Compiled-training gate: cached-tape executor vs eager, bitwise-checked.
 
@@ -241,6 +289,7 @@ COMMANDS = {
     "reducers": cmd_reducers,
     "serve": cmd_serve,
     "inference": cmd_inference,
+    "inference_batch": cmd_inference_batch,
     "training": cmd_training,
     "serve_scale": cmd_serve_scale,
 }

@@ -692,6 +692,174 @@ def inference_runtime(dataset: str = "twi", n_queries: int | None = None, repeat
 
 
 # ----------------------------------------------------------------------
+# Runtime: signature-grouped batch inference vs the per-query loop
+# ----------------------------------------------------------------------
+def inference_batch(
+    dataset: str = "twi",
+    batch_sizes: tuple[int, ...] = (4, 16, 32, 64),
+    repeats: int = 8,
+    n_threads: int = 8,
+):
+    """Cross-query batching gate: grouped ``estimate_batch`` vs a loop.
+
+    Batches are drawn from a serving-shaped pool — the test workload's
+    queries bucketed by constrained-column signature, keeping the most
+    common signatures — so each batch carries the cross-query overlap
+    the grouped driver exploits (one stacked trunk program per group
+    per AR step, docs/runtime.md). For every batch size the grouped
+    call is timed against the per-query baseline
+    ``estimate_batch([q], rngs=[rng])`` with identical per-query
+    streams (``query_seed``, exactly what the serving layer passes), so
+    the two must agree *bitwise* — the driver asserts it per repeat.
+    Latency is best-of-``repeats`` after a warm-up pass that also heats
+    the plan's shared prefix cache (both modes replay it equally).
+
+    A final threaded pass pushes the batch-32 set through a live
+    ``EstimationService`` from ``n_threads`` clients and checks every
+    served value bitwise against ``estimate_sequential`` — the batcher
+    coalesces arbitrary mixes, so this covers the thread/batch/cache
+    composition. The summary dict feeds ``BENCH_inference_batch.json``.
+    """
+    from repro.serve import EstimationService, ServeConfig
+    from repro.utils.rng import query_seed
+
+    scale = bench_scale()
+    _, test = get_workloads(dataset)
+    estimator, _ = get_estimator("iam", dataset)
+    plan = estimator.runtime_plan()
+
+    by_signature: dict[tuple, list] = {}
+    for query in test.queries:
+        signature = tuple(sorted({column for column, _, _ in query.cache_key()}))
+        by_signature.setdefault(signature, []).append(query)
+    ranked = sorted(by_signature.values(), key=len, reverse=True)
+    # The two dominant signatures: every batch then splits into two
+    # large groups, maximising the cross-query forward sharing the
+    # grouped driver exists for while still exercising multi-group
+    # dispatch (the threaded pass below covers arbitrary mixes).
+    pool = [query for bucket in ranked[:2] for query in bucket]
+
+    def rngs_for(batch):
+        return [
+            ensure_rng(query_seed(estimator.name, query.cache_key()))
+            for query in batch
+        ]
+
+    def run_loop(batch, rngs):
+        return np.asarray(
+            [
+                estimator.estimate_batch([query], rngs=[rng])[0]
+                for query, rng in zip(batch, rngs)
+            ]
+        )
+
+    headers = [
+        "Batch", "Groups", "Largest group",
+        "Loop ms/query", "Grouped ms/query", "Speedup", "Bitwise",
+    ]
+    rows = []
+    per_size: dict[str, dict] = {}
+    all_bitwise = True
+    for size in batch_sizes:
+        batch = [pool[i % len(pool)] for i in range(size)]
+        reference = run_loop(batch, rngs_for(batch))  # warm-up + oracle in one pass
+        estimator.estimate_batch(batch, rngs=rngs_for(batch))  # warm grouped path
+        groups = estimator.batch_group_sizes() or []
+        loop_ms = grouped_ms = float("inf")
+        bitwise = True
+        for _ in range(repeats):
+            rngs = rngs_for(batch)  # generator setup is not the path under test
+            with Timer() as timer:
+                looped = run_loop(batch, rngs)
+            loop_ms = min(loop_ms, timer.elapsed_ms / size)
+            rngs = rngs_for(batch)
+            with Timer() as timer:
+                grouped = estimator.estimate_batch(batch, rngs=rngs)
+            grouped_ms = min(grouped_ms, timer.elapsed_ms / size)
+            bitwise = bitwise and bool(
+                np.array_equal(looped, reference)
+                and np.array_equal(grouped, reference)
+            )
+        all_bitwise = all_bitwise and bitwise
+        speedup = loop_ms / max(grouped_ms, 1e-9)
+        rows.append(
+            [
+                size, len(groups), max(groups, default=0),
+                round(loop_ms, 3), round(grouped_ms, 3),
+                round(speedup, 1), bitwise,
+            ]
+        )
+        per_size[str(size)] = {
+            "loop_ms_per_query": float(loop_ms),
+            "grouped_ms_per_query": float(grouped_ms),
+            "speedup": float(speedup),
+            "groups": len(groups),
+            "largest_group": int(max(groups, default=0)),
+            "bitwise_equal": bitwise,
+        }
+
+    # Thread/batch/cache mix through a live service, checked bitwise.
+    batch32 = [pool[i % len(pool)] for i in range(32)]
+    unique = list({query.cache_key(): query for query in batch32}.values())
+    service = EstimationService(
+        ServeConfig(max_batch_size=32, max_wait_ms=2.0, fallback_estimator=None)
+    )
+    threaded_equal = True
+    try:
+        service.register(dataset, estimator)
+        expected = {
+            query.cache_key(): service.estimate_sequential(dataset, query)
+            for query in unique
+        }
+        mismatches = []
+        lock = threading.Lock()
+
+        def client(tid: int) -> None:
+            for query in batch32[tid % len(batch32):] + batch32[: tid % len(batch32)]:
+                got = service.estimate(dataset, query).selectivity
+                if got != expected[query.cache_key()]:
+                    with lock:
+                        mismatches.append(query.cache_key())
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        threaded_equal = not mismatches
+        batcher = service._require_model(dataset).batcher.stats()
+        threaded_stats = {
+            "bitwise_equal": threaded_equal,
+            "batches": batcher.batches,
+            "grouped_batches": batcher.grouped_batches,
+            "groups_per_batch": round(batcher.groups_per_batch, 2),
+            "mean_group_size": round(batcher.mean_group_size, 2),
+            "largest_group": batcher.largest_group,
+        }
+    finally:
+        service.close()
+
+    summary = {
+        "experiment": "inference_batch",
+        "dataset": dataset,
+        "scale": scale.name,
+        "batch_sizes": list(batch_sizes),
+        "repeats": repeats,
+        "pool_signatures": min(2, len(ranked)),
+        "pool_queries": len(pool),
+        "per_size": per_size,
+        "speedup_at_32": per_size.get("32", {}).get("speedup"),
+        "bitwise_equal": bool(all_bitwise),
+        "threaded": threaded_stats,
+        "prefix_cache": None if plan is None else plan.prefix_cache.stats(),
+        "plan_fingerprint": None if plan is None else plan.fingerprint,
+    }
+    return headers, rows, summary
+
+
+# ----------------------------------------------------------------------
 # Runtime: compiled training steps vs the eager autodiff loop
 # ----------------------------------------------------------------------
 def training_runtime(dataset: str = "twi", epochs: int | None = None):

@@ -66,6 +66,51 @@ def build_constraints(
     return slots
 
 
+def build_constraints_batch(
+    table: Table,
+    reducers: Sequence[DomainReducer],
+    queries: Sequence[Query],
+    bias_correction: bool = True,
+    mass_cache: RangeMassCache | None = None,
+) -> list[list[SlotConstraint | None]]:
+    """Batched :func:`build_constraints`: one mass lookup pass per column.
+
+    Instead of walking the columns once per query, walks each column
+    once for the whole batch and resolves every query's range mass on it
+    through :meth:`~repro.runtime.gmm.RangeMassCache.range_mass_batch`
+    (shared interval computations, one memo traversal).  Element ``i``
+    is bitwise-equal to ``build_constraints(table, reducers,
+    queries[i], ...)``.
+    """
+    constraint_maps = [query.constraints(table) for query in queries]
+    all_slots: list[list[SlotConstraint | None]] = [
+        [None] * len(table.columns) for _ in queries
+    ]
+    for ci, (column, reducer) in enumerate(zip(table.columns, reducers)):
+        requests: list[tuple[int, Sequence]] = []  # (query index, intervals)
+        for qi, constraint_map in enumerate(constraint_maps):
+            constraint = constraint_map.get(column.name)
+            if constraint is None:
+                continue  # wildcard skipping
+            if constraint.is_empty:
+                all_slots[qi][ci] = SlotConstraint(mass=np.zeros(reducer.n_tokens))
+                continue
+            requests.append((qi, constraint.intervals))
+        if not requests:
+            continue
+        if mass_cache is not None:
+            masses = mass_cache.range_mass_batch(
+                column.name, [intervals for _, intervals in requests]
+            )
+        else:
+            masses = [reducer.range_mass(intervals) for _, intervals in requests]
+        for (qi, _), mass in zip(requests, masses):
+            if not bias_correction and not reducer.is_exact:
+                mass = (mass > 0.0).astype(np.float64)
+            all_slots[qi][ci] = SlotConstraint(mass=mass)
+    return all_slots
+
+
 class IAMInference:
     """Bundles the sampler with the fitted reducers for query answering.
 
@@ -111,19 +156,50 @@ class IAMInference:
         ``rngs`` (one generator per query) decouples each query's draws
         from the batch composition; see
         :meth:`~repro.ar.progressive.ProgressiveSampler.sample_weights`.
+        The sampler groups the batch by constrained-column signature and
+        runs one stacked trunk program per group per AR step.
         """
-        constraints = [self._constraints_for(q) for q in queries]
+        constraints = self._constraints_for_batch(queries)
         return self.sampler.estimate_batch(constraints, rngs=rngs)
 
     def _constraints_for(self, query: Query) -> list[SlotConstraint | None]:
-        key = query.cache_key()
-        slots = self._constraint_cache.get(key)
-        if slots is None:
-            slots = build_constraints(
-                self.table, self.reducers, query, self.bias_correction,
+        return self._constraints_for_batch([query])[0]
+
+    def _constraints_for_batch(
+        self, queries: Sequence[Query]
+    ) -> list[list[SlotConstraint | None]]:
+        """Constraint lists for a batch, built through the batched path.
+
+        Cached queries answer from ``_constraint_cache``; the rest are
+        deduplicated by canonical form and constructed together via
+        :func:`build_constraints_batch` (one range-mass pass per
+        column).
+        """
+        out: list = [None] * len(queries)
+        pending: dict = {}  # cache key -> indices still needing slots
+        order: list = []  # (key, query) in first-seen order
+        for i, query in enumerate(queries):
+            key = query.cache_key()
+            slots = self._constraint_cache.get(key)
+            if slots is not None:
+                out[i] = slots
+                continue
+            if key not in pending:
+                pending[key] = []
+                order.append((key, query))
+            pending[key].append(i)
+        if order:
+            built = build_constraints_batch(
+                self.table,
+                self.reducers,
+                [query for _, query in order],
+                self.bias_correction,
                 mass_cache=self.mass_cache,
             )
-            if len(self._constraint_cache) >= 4096:
-                self._constraint_cache.clear()  # coarse bound, like RangeMassCache
-            self._constraint_cache[key] = slots
-        return slots
+            for (key, _), slots in zip(order, built):
+                if len(self._constraint_cache) >= 4096:
+                    self._constraint_cache.clear()  # coarse bound, like RangeMassCache
+                self._constraint_cache[key] = slots
+                for i in pending[key]:
+                    out[i] = slots
+        return out

@@ -212,6 +212,14 @@ class IAM:
             return None
         return self._inference.sampler.plan
 
+    def batch_group_sizes(self) -> list[int] | None:
+        """Signature-group sizes of the sampler's last batch (see
+        :meth:`~repro.ar.progressive.ProgressiveSampler.sample_weights`);
+        None before fit."""
+        if self._inference is None:
+            return None
+        return list(self._inference.sampler.last_groups)
+
     def estimate(self, query: Query) -> float:
         """Estimated selectivity of one conjunctive query."""
         raw = self._require_inference().estimate(query)
@@ -230,11 +238,14 @@ class IAM:
         the serving layer's determinism contract.
         """
         inference = self._require_inference()
-        out = np.empty(len(queries))
-        for start in range(0, len(queries), batch_size):
-            chunk = list(queries[start : start + batch_size])
-            chunk_rngs = None if rngs is None else list(rngs[start : start + len(chunk)])
-            out[start : start + len(chunk)] = inference.estimate_batch(chunk, rngs=chunk_rngs)
+        if len(queries) <= batch_size:  # one chunk: skip the slicing
+            out = inference.estimate_batch(queries, rngs=rngs)
+        else:
+            out = np.empty(len(queries))
+            for start in range(0, len(queries), batch_size):
+                chunk = list(queries[start : start + batch_size])
+                chunk_rngs = None if rngs is None else list(rngs[start : start + len(chunk)])
+                out[start : start + len(chunk)] = inference.estimate_batch(chunk, rngs=chunk_rngs)
         n = self.table.num_rows
         return np.clip(out, 1.0 / n, 1.0)
 

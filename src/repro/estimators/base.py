@@ -15,6 +15,7 @@ from repro.data.table import Table
 from repro.metrics import clamp_selectivity
 from repro.query.query import Query
 from repro.query.workload import Workload
+from repro.utils.rng import ensure_rng, query_seed
 from repro.utils.timer import Timer
 
 __all__ = ["Estimator", "clamp_selectivity"]
@@ -48,12 +49,40 @@ class Estimator:
 
         ``rngs`` optionally carries one ``numpy.random.Generator`` per
         query for stochastic estimators whose results must not depend on
-        batch composition (see ``repro.serve``); estimators that are pure
-        functions of the query ignore it. The default is a sequential
-        loop, so every registry estimator can sit behind the micro-batcher.
+        batch composition (see ``repro.serve``). When the caller supplies
+        none, the default derives the *same* per-query streams the
+        serving layer would — ``query_seed(self.name, query.cache_key())``
+        — so a batch answer never depends on whether generators were
+        passed explicitly.  Stochastic subclasses route per-query draws
+        through :meth:`_estimate_seeded`; pure-function estimators
+        inherit the default, which ignores the generator.
+
+        The default body is a sequential loop — the documented fallback
+        for estimators without a shared forward pass.  Batch-capable
+        estimators (IAM, Naru) override this with the grouped driver;
+        the ``batch-loop-fallback`` lint rule flags any new per-query
+        loop that silently bypasses it.
         """
-        del rngs  # deterministic once fitted; draws nothing per query
-        return np.array([self.estimate(q) for q in queries], dtype=np.float64)
+        if rngs is None:
+            rngs = [
+                ensure_rng(query_seed(self.name, query.cache_key()))
+                for query in queries
+            ]
+        results = np.empty(len(queries), dtype=np.float64)
+        for i, (query, rng) in enumerate(zip(queries, rngs)):  # repro: noqa[batch-loop-fallback]
+            results[i] = self._estimate_seeded(query, rng)
+        return results
+
+    def _estimate_seeded(self, query: Query, rng) -> float:
+        """One query under a caller-chosen generator.
+
+        Default ignores ``rng``: most registry estimators are pure
+        functions of the query once fitted.  Stochastic estimators that
+        rely on the default :meth:`estimate_batch` override this to
+        consume the per-query stream instead of internal state.
+        """
+        del rng  # deterministic once fitted; draws nothing per query
+        return float(self.estimate(query))
 
     def timed_estimates(self, queries: list[Query]) -> tuple[np.ndarray, float]:
         """(estimates, mean ms per query) for the inference-time figure."""
@@ -64,6 +93,17 @@ class Estimator:
     def size_bytes(self) -> int:
         """Serialized model size (for the paper's model-size tables)."""
         raise NotImplementedError  # pragma: no cover - abstract
+
+    def batch_group_sizes(self) -> list[int] | None:
+        """Signature-group sizes of the last :meth:`estimate_batch` call.
+
+        Estimators whose batch path runs the grouped sampler driver
+        (one stacked forward pass per constrained-column signature)
+        report one entry per group, holding the number of queries it
+        coalesced; the serving layer turns these into batch-group
+        telemetry.  Estimators without a grouped driver return ``None``.
+        """
+        return None
 
     def runtime_plan(self):
         """The compiled inference plan backing this estimator, if any.

@@ -11,6 +11,7 @@ from repro.errors import NotFittedError
 from repro.estimators.base import Estimator
 from repro.query.query import Query
 from repro.query.workload import Workload
+from repro.utils.rng import ensure_rng, query_seed
 
 
 class IAMEstimator(Estimator):
@@ -45,9 +46,23 @@ class IAMEstimator(Estimator):
 
     def estimate_batch(self, queries, rngs=None) -> np.ndarray:
         """Shared-forward-pass batching (Section 5.3) for the serving
-        layer; ``rngs`` gives each query its own draw stream so results
-        are independent of how the batcher coalesced them."""
+        layer, routed through the signature-grouped sampler driver: the
+        batch is grouped by constrained-column signature and each group
+        runs one stacked trunk program per AR step.  ``rngs`` gives each
+        query its own draw stream so results are independent of how the
+        batcher coalesced — or the driver grouped — them; when omitted,
+        the same per-query streams the serving layer would pass are
+        derived here (``query_seed(self.name, query.cache_key())``), so
+        a query's estimate does not depend on who supplied the rngs."""
+        if rngs is None:
+            rngs = [
+                ensure_rng(query_seed(self.name, query.cache_key()))
+                for query in queries
+            ]
         return self.estimate_many(queries, batch_size=max(len(queries), 1), rngs=rngs)
+
+    def batch_group_sizes(self) -> list[int] | None:
+        return None if self.model is None else self.model.batch_group_sizes()
 
     def size_bytes(self) -> int:
         return self._require_model().size_bytes()

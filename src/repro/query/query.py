@@ -59,6 +59,7 @@ class Query:
         self.predicates: tuple[Predicate, ...] = tuple(predicates)
         if not self.predicates:
             raise QueryError("a query needs at least one predicate")
+        self._cache_key: tuple[tuple[str, str, float], ...] | None = None
 
     def __iter__(self) -> Iterator[Predicate]:
         return iter(self.predicates)
@@ -89,9 +90,17 @@ class Query:
         produce the same key, while any differing column, operator, or
         bound produces a different one. Used by ``repro.serve`` to key
         the result cache and to derive per-query sampling seeds.
+
+        Memoised: predicates are fixed at construction, and the key is
+        recomputed on every hot-path lookup (result cache, seed
+        derivation, constraint cache) otherwise.
         """
-        triples = {(p.column, p.op.value, float(p.value)) for p in self.predicates}
-        return tuple(sorted(triples))
+        if self._cache_key is None:
+            triples = {
+                (p.column, p.op.value, float(p.value)) for p in self.predicates
+            }
+            self._cache_key = tuple(sorted(triples))
+        return self._cache_key
 
     # ------------------------------------------------------------------
     @classmethod

@@ -114,6 +114,64 @@ class RangeMassCache:
         union[key] = result
         return result
 
+    def range_mass_batch(
+        self, column: str, interval_sets: Sequence[Sequence[Interval]]
+    ) -> list[np.ndarray]:
+        """Masses for many queries' interval unions on one column at once.
+
+        The multi-query counterpart of :meth:`range_mass`, built for the
+        grouped batch driver: one pass canonicalizes every request,
+        answers repeats and memoized unions without re-deriving them,
+        and computes each distinct missing interval's component mass
+        exactly once across the whole batch (shared through the level-1
+        memo).  Entry ``i`` of the returned list is bitwise-equal to
+        ``range_mass(column, interval_sets[i])``.
+        """
+        reducer = self._reducers.get(column)
+        if reducer is None:
+            raise KeyError(f"no reducer registered for column {column!r}")
+        keys = [
+            tuple((float(low), float(high)) for low, high in intervals)
+            for intervals in interval_sets
+        ]
+        union = self._union.setdefault(column, {})
+        results: dict[tuple, np.ndarray] = {}
+        pending: list[tuple] = []  # distinct keys to compute, request order
+        for key in keys:
+            if key in results:
+                self.hits += 1  # duplicate within this batch: shared
+                continue
+            cached = union.get(key)
+            if cached is not None:
+                self.hits += 1
+                results[key] = cached
+            else:
+                self.misses += 1
+                results[key] = None  # placeholder marks it as pending
+                pending.append(key)
+        base_impl = (
+            getattr(type(reducer).range_mass, "__qualname__", "")
+            == "DomainReducer.range_mass"
+        )
+        for key in pending:
+            if base_impl:
+                # Same sum-then-clip arithmetic as range_mass, with each
+                # interval's mass pulled through the level-1 memo (so an
+                # interval shared by several queries is counted once).
+                total = np.zeros(reducer.n_tokens)
+                for low, high in key:
+                    total += self._interval_mass(column, reducer, low, high)
+                result = np.clip(total, 0.0, 1.0)
+            else:
+                result = np.asarray(reducer.range_mass(list(key)))
+            result.setflags(write=False)
+            if len(union) >= self.max_entries_per_column:
+                union.clear()
+                self.evictions += 1
+            union[key] = result
+            results[key] = result
+        return [results[key] for key in keys]
+
     def _interval_mass(self, column: str, reducer, low: float, high: float) -> np.ndarray:
         singles = self._single.setdefault(column, {})
         cached = singles.get((low, high))

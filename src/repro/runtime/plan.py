@@ -26,15 +26,18 @@ Thread-safety contract
 A :class:`MADEPlan` is immutable after compilation (every array is
 marked read-only) and may be shared freely across threads — the serving
 layer compiles one plan per registered model and lets every worker use
-it.  A :class:`Workspace` is mutable scratch state and must NOT be
-shared between concurrent callers; give each thread (or each sampler)
-its own, or pass ``workspace=None`` to fall back to per-call
-allocations.
+it.  The one mutable structure a plan owns, its :class:`PrefixCache` of
+constrained-prefix logits, is internally locked and only ever hands out
+frozen arrays, so sharing the plan shares the cache safely too.  A
+:class:`Workspace` is mutable scratch state and must NOT be shared
+between concurrent callers; give each thread (or each sampler) its own,
+or pass ``workspace=None`` to fall back to per-call allocations.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from functools import partial
 from typing import TYPE_CHECKING, Sequence
 
@@ -47,6 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 
 __all__ = [
     "MADEPlan",
+    "PrefixCache",
     "Workspace",
     "compile_made",
     "plan_fingerprint",
@@ -63,18 +67,17 @@ class Workspace:
     thread-safe: one workspace per concurrent caller.
     """
 
-    __slots__ = ("_buffers", "_programs", "_memos")
+    __slots__ = ("_buffers", "_programs")
 
     def __init__(self) -> None:
         self._buffers: dict[tuple, np.ndarray] = {}
         # Compiled step lists (see MADEPlan._trunk_program), keyed by
-        # (plan fingerprint, batch). Closures bind the buffers above, so
-        # clearing one without the other would leave dangling aliases.
+        # (plan fingerprint, capacity, batch). Closures bind the buffers
+        # above, so clearing one without the other would leave dangling
+        # aliases.  (Memoised forward results used to live here too; they
+        # moved to the plan-owned PrefixCache so every workspace — and
+        # every cluster worker — shares one copy.)
         self._programs: dict[tuple, tuple] = {}
-        # Memoised forward results that are pure functions of the plan
-        # weights (see MADEPlan.forward_slice_wildcard): frozen copies,
-        # keyed by (kind, fingerprint, ...).
-        self._memos: dict[tuple, np.ndarray] = {}
 
     def get(self, tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
         """Return the reusable buffer for ``(tag, shape, dtype)``.
@@ -91,7 +94,6 @@ class Workspace:
     def clear(self) -> None:
         self._buffers.clear()
         self._programs.clear()
-        self._memos.clear()
 
     @property
     def nbytes(self) -> int:
@@ -137,6 +139,93 @@ def _frozen_view(array: np.ndarray) -> np.ndarray:
     out = array
     out.setflags(write=False)
     return out
+
+
+class PrefixCache:
+    """Bounded cache of per-column logits for constrained-column prefixes.
+
+    Progressive sampling repeatedly evaluates the MADE on contexts that
+    are pure functions of the compiled weights: before any column is
+    sampled every input token is the wildcard id, and after an
+    equality-constrained column every sample carries the same token.
+    Those contexts — a *prefix* of ``(column, token)`` assignments over
+    an otherwise all-wildcard input — produce identical logits for every
+    query that reaches them, so the plan caches the forward result once
+    and replays the bytes for every later query, thread, and (via the
+    shared-memory export, see :meth:`MADEPlan.to_buffers`) cluster
+    worker.
+
+    Entries are keyed ``(column, prefix, n_rows)`` where ``prefix`` is a
+    tuple of ``(column, token)`` pairs in sampling order; the owning
+    plan's fingerprint is implicit (one cache per plan, so a hot reload
+    or cluster segment swap installs a fresh, empty cache and old
+    entries can never leak across weight snapshots).  Stored arrays are
+    frozen read-only copies, making the cache safe to share across
+    threads: all bookkeeping happens under ``_lock`` and readers only
+    ever see immutable arrays.
+
+    The cache is bounded (FIFO eviction at ``max_entries``) so
+    adversarial workloads — many distinct equality prefixes — cannot
+    grow it without limit.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ConfigError("PrefixCache max_entries must be >= 1")
+        self._lock = threading.Lock()
+        self.max_entries = int(max_entries)
+        self._entries: dict[tuple, np.ndarray] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def lookup(self, key: tuple) -> np.ndarray | None:
+        """The frozen logits for ``key``, or None (counted as hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+            return entry
+
+    def store(self, key: tuple, array: np.ndarray) -> None:
+        """Insert ``array`` (frozen in place) unless ``key`` is present."""
+        with self._lock:
+            if key in self._entries:
+                return  # a concurrent caller won the race; keep its entry
+            while len(self._entries) >= self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+                self._evictions += 1
+            self._entries[key] = _frozen_view(array)
+
+    def stats(self) -> dict:
+        """Monotone counters + current size, for telemetry deltas."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
+
+    def export(self) -> list[tuple[tuple, np.ndarray]]:
+        """Snapshot of ``(key, frozen array)`` pairs, insertion-ordered."""
+        with self._lock:
+            return list(self._entries.items())
+
+    def __reduce__(self):
+        # The lock is process-local and the entries are derived data
+        # (rebuilt on first miss, or shipped explicitly by the plan's
+        # shared-memory export) — a pickled cache travels empty, like a
+        # freshly compiled plan's. Pinned to the base class: dynamic
+        # instrumentation subclasses (the race sanitizer's) are
+        # process-local and not picklable by name.
+        return (PrefixCache, (self.max_entries,))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 def plan_fingerprint(
@@ -240,6 +329,10 @@ class MADEPlan:
         # threads without a lock, so no attribute may be written after
         # __init__ (enforced by the plan-immutability analysis pass).
         self._ar_order = [int(c) for c in np.argsort(self.positions, kind="stable")]
+        # Shared logits cache for constrained-column prefixes.  The cache
+        # object itself is internally locked; the *reference* never
+        # changes after __init__, preserving the immutability contract.
+        self.prefix_cache = PrefixCache()
 
     # ------------------------------------------------------------------
     def ar_order(self) -> list[int]:
@@ -292,6 +385,28 @@ class MADEPlan:
             arrays[f"trunk.{i}.weight"] = weight
             if bias is not None:
                 arrays[f"trunk.{i}.bias"] = bias
+        # Warm prefix-cache entries ride along so cluster workers attach
+        # with the publisher's cache already hot.  They are *excluded*
+        # from the fingerprint (they are derived data, reproducible from
+        # the weights) and tolerated as absent on import.
+        prefix_meta = []
+        for j, (key, array) in enumerate(self.prefix_cache.export()):
+            if len(key) != 3:
+                # Derived entries (post-softmax "probs") are rebuilt on
+                # demand from the logits; only logits are exported.
+                continue
+            column, prefix, n_rows = key
+            arrays[f"prefix.{j}"] = array
+            prefix_meta.append(
+                {
+                    "column": int(column),
+                    "prefix": [[int(c), int(t)] for c, t in prefix],
+                    "n_rows": int(n_rows),
+                    "array": f"prefix.{j}",
+                }
+            )
+        if prefix_meta:
+            meta["prefix"] = prefix_meta
         return meta, arrays
 
     @classmethod
@@ -335,7 +450,7 @@ class MADEPlan:
                     f"{meta['fingerprint']} — the array set does not match the "
                     "plan it claims to be"
                 )
-        return cls(
+        plan = cls(
             vocab_sizes=list(meta["vocab_sizes"]),
             positions=positions,
             embed_widths=list(meta["embed_widths"]),
@@ -347,6 +462,18 @@ class MADEPlan:
             dtype=np.dtype(meta["dtype"]),
             fingerprint=meta["fingerprint"],
         )
+        # Seed the fresh prefix cache from any exported warm entries.
+        for entry in meta.get("prefix", ()):
+            array = arrays.get(entry["array"])
+            if array is None:
+                continue  # partial exports are fine; entries are derived data
+            key = (
+                int(entry["column"]),
+                tuple((int(c), int(t)) for c, t in entry["prefix"]),
+                int(entry["n_rows"]),
+            )
+            plan.prefix_cache.store(key, _frozen_view(array))
+        return plan
 
     # ------------------------------------------------------------------
     def _check_tokens(self, tokens: np.ndarray) -> np.ndarray:
@@ -373,7 +500,7 @@ class MADEPlan:
         return x
 
     def _trunk_program(
-        self, workspace: Workspace, batch: int
+        self, workspace: Workspace, batch: int, capacity: int | None = None
     ) -> tuple[list, list, np.ndarray]:
         """Prebound execution steps for a fixed batch size.
 
@@ -384,15 +511,26 @@ class MADEPlan:
         ops :meth:`_hidden` issues, in the same order on the same
         buffers, so executing them is bitwise-identical — just without
         re-dispatching the generic interpreter every forward. Cached per
-        ``(fingerprint, batch)`` in the workspace alongside the buffers
-        the closures alias.
+        ``(fingerprint, capacity, batch)`` in the workspace alongside the
+        buffers the closures alias.
+
+        ``capacity`` makes the program batch-shape-aware: buffers are
+        allocated at ``(capacity, width)`` and every step binds the
+        leading view ``buf[:batch]``, so grouped batch drivers whose
+        group sizes vary from call to call share one buffer set instead
+        of allocating per distinct group size.  Leading views of
+        C-contiguous buffers are themselves C-contiguous, so the BLAS
+        calls see the same memory layout as exact-size buffers and the
+        results stay bitwise-identical.
         """
-        key = (self.fingerprint, batch)
+        if capacity is None or capacity < batch:
+            capacity = batch
+        key = (self.fingerprint, capacity, batch)
         program = workspace._programs.get(key)
         if program is not None:
             return program
 
-        x = workspace.get("embed", (batch, self.input_width), self.dtype)
+        x = workspace.get("embed", (capacity, self.input_width), self.dtype)[:batch]
         embeds = [
             (self.embeddings[k], x[:, self._embed_slices[k]])
             for k in range(self.n_columns)
@@ -401,7 +539,9 @@ class MADEPlan:
         if not self.residual:
             h = x
             for i, (weight, bias) in enumerate(self.trunk):
-                nxt = workspace.get(f"h{i}", (batch, weight.shape[1]), self.dtype)
+                nxt = workspace.get(
+                    f"h{i}", (capacity, weight.shape[1]), self.dtype
+                )[:batch]
                 steps.append(partial(np.matmul, h, weight, out=nxt))
                 if bias is not None:
                     steps.append(partial(np.add, nxt, bias, out=nxt))
@@ -409,9 +549,9 @@ class MADEPlan:
                 h = nxt
         else:
             (w_in, b_in), *blocks = self.trunk
-            h = workspace.get("h", (batch, self.hidden_width), self.dtype)
-            t = workspace.get("t", (batch, self.hidden_width), self.dtype)
-            a = workspace.get("a", (batch, self.hidden_width), self.dtype)
+            h = workspace.get("h", (capacity, self.hidden_width), self.dtype)[:batch]
+            t = workspace.get("t", (capacity, self.hidden_width), self.dtype)[:batch]
+            a = workspace.get("a", (capacity, self.hidden_width), self.dtype)[:batch]
             steps.append(partial(np.matmul, x, w_in, out=h))
             if b_in is not None:
                 steps.append(partial(np.add, h, b_in, out=h))
@@ -437,12 +577,13 @@ class MADEPlan:
         tokens: np.ndarray,
         wildcard_mask: np.ndarray | None,
         workspace: Workspace,
+        capacity: int | None = None,
     ) -> np.ndarray:
         """Trunk activations up to (excluding) the output projection."""
         if wildcard_mask is None:
             # Hot path (the sampler encodes wildcards in the ids): replay
             # the identical op sequence from the compiled program.
-            embeds, steps, h = self._trunk_program(workspace, len(tokens))
+            embeds, steps, h = self._trunk_program(workspace, len(tokens), capacity)
             for k, (embedding, view) in enumerate(embeds):
                 view[:] = embedding[tokens[:, k]]
             for step in steps:
@@ -520,18 +661,27 @@ class MADEPlan:
         wildcard_mask: np.ndarray | None = None,
         out: np.ndarray | None = None,
         workspace: Workspace | None = None,
+        capacity: int | None = None,
     ) -> np.ndarray:
         """Logits for ``column`` only: ``(batch, vocab_sizes[column])``.
 
         Multiplies just that column's pre-sliced output projection — the
         per-step cost the progressive sampler pays at sampling step *i*.
+        ``capacity`` (>= batch) sizes the workspace buffers so callers
+        issuing varying batch shapes share one allocation (see
+        :meth:`_trunk_program`).
         """
         tokens = self._check_tokens(tokens)
         workspace = workspace if workspace is not None else Workspace()
         weight = self._out_weight_cols[column]
         expected = (len(tokens), weight.shape[1])
         if out is None:
-            out = workspace.get("slice", expected, self.dtype)
+            if capacity is not None and capacity > len(tokens):
+                out = workspace.get(
+                    "slice", (capacity, weight.shape[1]), self.dtype
+                )[: len(tokens)]
+            else:
+                out = workspace.get("slice", expected, self.dtype)
         elif out.shape != expected:
             raise ShapeError(f"out has shape {out.shape}, expected {expected}")
         bias = self._out_bias_cols[column]
@@ -539,45 +689,101 @@ class MADEPlan:
             # Bias-only column (AR position 0): no trunk pass needed.
             out[:] = 0.0 if bias is None else bias
             return out
-        h = self._hidden(tokens, wildcard_mask, workspace)
+        h = self._hidden(tokens, wildcard_mask, workspace, capacity)
         np.matmul(h, weight, out=out)
         if bias is not None:
             out += bias
         return out
 
-    def forward_slice_wildcard(
-        self, column: int, n_rows: int, workspace: Workspace
+    def forward_prefix(
+        self,
+        column: int,
+        prefix: tuple,
+        n_rows: int,
+        workspace: Workspace,
+        capacity: int | None = None,
     ) -> np.ndarray:
-        """:meth:`forward_slice` for the all-wildcard context, memoised.
+        """:meth:`forward_slice` for a constrained-column prefix, cached.
 
-        Before any column has been sampled, every input token is the
-        wildcard id, so the logits are a pure function of the compiled
-        weights — the progressive sampler hits this context once per
-        query (its first constrained column). The first call per
-        ``(column, n_rows)`` runs the ordinary forward and parks a
-        frozen copy in the workspace; later calls replay that copy into
-        the slice buffer, skipping the trunk entirely. Values are
-        bitwise-identical by construction: the cache holds the same
-        forward's own output for the same shape.
+        ``prefix`` is a tuple of ``(column, token)`` pairs describing an
+        input whose listed columns all carry one fixed token and whose
+        remaining columns are wildcards — the context every query whose
+        equality-constrained prefix resolved to those tokens shares.
+        The empty prefix is the all-wildcard context the sampler hits on
+        each query's first constrained column.
+
+        The first call per ``(column, prefix, n_rows)`` runs the
+        ordinary forward on the synthesised tokens and parks a frozen
+        copy in the plan's shared :class:`PrefixCache`; later calls —
+        from any workspace, thread, or attached cluster worker — replay
+        that copy into the slice buffer, skipping the trunk entirely.
+        Values are bitwise-identical by construction: the cache holds
+        the same forward's own output for the same key.
 
         Returns a writable buffer (callers run ``softmax_inplace`` on
         it), like :meth:`forward_slice`.
         """
-        key = ("wildcard", self.fingerprint, column, n_rows)
-        cached = workspace._memos.get(key)
+        key = (column, prefix, n_rows)
+        cached = self.prefix_cache.lookup(key)
         if cached is None:
             tokens = np.empty((n_rows, self.n_columns), dtype=np.int64)
             tokens[:] = self.wildcard_ids
-            out = self.forward_slice(column, tokens, workspace=workspace)
-            cached = out.copy()
-            cached.setflags(write=False)
-            workspace._memos[key] = cached
+            for col, token in prefix:
+                tokens[:, col] = token
+            out = self.forward_slice(
+                column, tokens, workspace=workspace, capacity=capacity
+            )
+            self.prefix_cache.store(key, _frozen(out, self.dtype))
             return out
-        out = workspace.get(
-            "slice", (n_rows, self.vocab_sizes[column]), self.dtype
-        )
+        vocab = self.vocab_sizes[column]
+        if capacity is not None and capacity > n_rows:
+            out = workspace.get("slice", (capacity, vocab), self.dtype)[:n_rows]
+        else:
+            out = workspace.get("slice", (n_rows, vocab), self.dtype)
         out[:] = cached
         return out
+
+    def forward_prefix_probs(
+        self,
+        column: int,
+        prefix: tuple,
+        n_rows: int,
+        workspace: Workspace,
+        capacity: int | None = None,
+    ) -> np.ndarray:
+        """The *softmaxed* :meth:`forward_prefix` conditional, cached.
+
+        The sampler consumes ``softmax_inplace(logits)``, and softmax is
+        a row-wise op — so caching the post-softmax distribution under a
+        ``"probs"``-marked key replays bitwise-identical values while
+        skipping the replay copy *and* the block softmax. Hits return
+        the frozen cached array itself (zero copy); callers must treat
+        it as read-only, which the sampler does — it only ever derives
+        fresh arrays from the distribution. Misses route through
+        :meth:`forward_prefix`, so the logits entry is populated too
+        (it is the exportable artifact, see :meth:`to_buffers`).
+        """
+        key = (column, prefix, n_rows, "probs")
+        cached = self.prefix_cache.lookup(key)
+        if cached is not None:
+            return cached
+        logits = self.forward_prefix(
+            column, prefix, n_rows, workspace=workspace, capacity=capacity
+        )
+        probs = softmax_inplace(logits)
+        self.prefix_cache.store(key, _frozen(probs, self.dtype))
+        return probs
+
+    def forward_slice_wildcard(
+        self, column: int, n_rows: int, workspace: Workspace
+    ) -> np.ndarray:
+        """:meth:`forward_prefix` with the empty prefix (all wildcards).
+
+        Kept as the spelled-out special case; the general machinery —
+        including cross-workspace sharing of the cached logits — lives
+        in :meth:`forward_prefix` / :class:`PrefixCache`.
+        """
+        return self.forward_prefix(column, (), n_rows, workspace)
 
 
 def _layer_arrays(

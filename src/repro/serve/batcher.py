@@ -42,10 +42,25 @@ class BatcherStats:
     batches: int = 0
     requests: int = 0
     largest_batch: int = 0
+    # Signature-grouping stats, reported back by grouped batch drivers
+    # via MicroBatcher.note_groups (estimators without a grouped driver
+    # leave them at zero).
+    grouped_batches: int = 0
+    groups: int = 0
+    grouped_requests: int = 0
+    largest_group: int = 0
 
     @property
     def mean_batch_size(self) -> float:
         return self.requests / self.batches if self.batches else 0.0
+
+    @property
+    def groups_per_batch(self) -> float:
+        return self.groups / self.grouped_batches if self.grouped_batches else 0.0
+
+    @property
+    def mean_group_size(self) -> float:
+        return self.grouped_requests / self.groups if self.groups else 0.0
 
 
 class MicroBatcher:
@@ -117,6 +132,27 @@ class MicroBatcher:
                 batches=self._stats.batches,
                 requests=self._stats.requests,
                 largest_batch=self._stats.largest_batch,
+                grouped_batches=self._stats.grouped_batches,
+                groups=self._stats.groups,
+                grouped_requests=self._stats.grouped_requests,
+                largest_group=self._stats.largest_group,
+            )
+
+    def note_groups(self, group_sizes: Sequence[int]) -> None:
+        """Record one executed batch's signature-group sizes.
+
+        Called by the batch runner *after* ``run_batch`` returns (never
+        while it holds the model lock inside), with one entry per
+        constrained-column signature group the driver formed.
+        """
+        if not group_sizes:
+            return
+        with self._stats_lock:
+            self._stats.grouped_batches += 1
+            self._stats.groups += len(group_sizes)
+            self._stats.grouped_requests += sum(group_sizes)
+            self._stats.largest_group = max(
+                self._stats.largest_group, max(group_sizes)
             )
 
     def close(self) -> None:

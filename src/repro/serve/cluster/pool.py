@@ -842,9 +842,13 @@ class ClusterService:
     ) -> WorkerHandle | None:
         """Pick the worker for this request, or None to shed.
 
-        'hash' pins each (model, query) to one worker for cache
-        affinity; a down or full designated worker falls through to the
-        least-loaded peer (determinism does not depend on placement).
+        'hash' pins each (model, constraint signature) to one worker:
+        queries constraining the same column set land together, so a
+        worker's micro-batches coalesce into large signature groups for
+        the grouped sampler driver (and its prefix cache stays hot for
+        the signatures it owns).  A down or full designated worker falls
+        through to the least-loaded peer (determinism does not depend on
+        placement — every worker computes the same answer).
         'replicate' always takes the least-loaded available worker.
         """
         candidates = [
@@ -854,7 +858,8 @@ class ClusterService:
             return None
         bound = self.config.max_queue_depth
         if self.config.shard_policy == "hash":
-            digest = zlib.crc32(f"{model_name}|{key!r}".encode())
+            signature = tuple(sorted({column for column, _, _ in key}))
+            digest = zlib.crc32(f"{model_name}|{signature!r}".encode())
             designated = candidates[digest % len(candidates)]
             if designated.outstanding() < bound:
                 return designated

@@ -19,7 +19,6 @@ exposes the same pure path without cache or batcher for verification.
 
 from __future__ import annotations
 
-import hashlib
 import os
 import threading
 import time
@@ -32,7 +31,15 @@ from repro.query.query import Query
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import QueryCache
 from repro.serve.telemetry import Telemetry
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import ensure_rng, query_seed
+
+__all__ = [
+    "EstimateResult",
+    "EstimationService",
+    "ServeConfig",
+    "ServedModel",
+    "query_seed",  # canonical home is repro.utils.rng; re-exported for callers
+]
 
 
 @dataclass
@@ -85,6 +92,7 @@ class ServedModel:
         config: ServeConfig,
         fallback: Estimator | None = None,
         source_path: str | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.name = name
         self.estimator = estimator
@@ -96,6 +104,13 @@ class ServedModel:
         # Compiled-plan snapshot (read-only, safe to share across
         # threads); refreshed whenever the estimator is swapped.
         self.plan = _runtime_plan_of(estimator)
+        # Service-wide telemetry sink for per-batch counters (None in
+        # standalone uses); deltas are computed against the monotone
+        # prefix-cache counters of the plan generation in `_prefix_plan`
+        # (hot reload swaps in a fresh cache, resetting the baseline).
+        self.telemetry = telemetry
+        self._prefix_plan = self.plan
+        self._prefix_baseline: dict[str, int] = {}
         self.batcher = MicroBatcher(
             self._run_batch,
             max_batch_size=config.max_batch_size,
@@ -105,7 +120,43 @@ class ServedModel:
 
     def _run_batch(self, queries, rngs):
         with self.lock:
-            return self.estimator.estimate_batch(queries, rngs=rngs)
+            results = self.estimator.estimate_batch(queries, rngs=rngs)
+            groups = _batch_groups_of(self.estimator)
+            prefix_deltas = self._prefix_cache_deltas(self.plan)
+        # Stats flow out *after* the model lock is released: the batcher
+        # and telemetry have their own locks, and nesting them under the
+        # model lock would add avoidable edges to the lock-order graph.
+        if groups:
+            self.batcher.note_groups(groups)
+        if self.telemetry is not None:
+            if groups:
+                self.telemetry.increment("batch.grouped", 1)
+                self.telemetry.increment("batch.groups", len(groups))
+                self.telemetry.increment("batch.grouped_requests", sum(groups))
+            for counter, delta in (prefix_deltas or {}).items():
+                if delta:
+                    self.telemetry.increment(f"prefix_cache.{counter}", delta)
+        return results
+
+    def _prefix_cache_deltas(self, plan) -> dict[str, int] | None:
+        """Per-batch increments of ``plan``'s prefix-cache counters.
+
+        Called under ``self.lock`` with the current plan snapshot (the
+        baseline is lock-guarded state). Returns None when the model
+        runs uncompiled.
+        """
+        cache = getattr(plan, "prefix_cache", None)
+        if cache is None:
+            return None
+        if plan is not self._prefix_plan:  # hot reload: fresh cache
+            self._prefix_plan = plan
+            self._prefix_baseline = {}
+        stats = cache.stats()
+        deltas = {}
+        for counter in ("hits", "misses", "evictions"):
+            deltas[counter] = stats[counter] - self._prefix_baseline.get(counter, 0)
+            self._prefix_baseline[counter] = stats[counter]
+        return deltas
 
     @property
     def num_rows(self) -> int:
@@ -125,6 +176,7 @@ class ServedModel:
             plan = self.plan
             version = self.version
         stats = self.batcher.stats()
+        prefix_cache = getattr(plan, "prefix_cache", None)
         return {
             "name": self.name,
             "estimator": type(estimator).__name__,
@@ -139,6 +191,10 @@ class ServedModel:
             "batched_requests": stats.requests,
             "largest_batch": stats.largest_batch,
             "mean_batch_size": round(stats.mean_batch_size, 2),
+            "groups_per_batch": round(stats.groups_per_batch, 2),
+            "mean_group_size": round(stats.mean_group_size, 2),
+            "largest_group": stats.largest_group,
+            "prefix_cache": None if prefix_cache is None else prefix_cache.stats(),
         }
 
 
@@ -149,6 +205,12 @@ def _runtime_plan_of(estimator) -> object | None:
     return getter() if callable(getter) else None
 
 
+def _batch_groups_of(estimator) -> list[int] | None:
+    """estimator.batch_group_sizes(), tolerating duck-typed estimators."""
+    getter = getattr(estimator, "batch_group_sizes", None)
+    return getter() if callable(getter) else None
+
+
 def _mtime(path: str | None) -> float | None:
     if path is None:
         return None
@@ -156,12 +218,6 @@ def _mtime(path: str | None) -> float | None:
         return os.path.getmtime(path)
     except OSError:
         return None
-
-
-def query_seed(model_name: str, key: tuple) -> int:
-    """Stable 64-bit sampling seed for one (model, canonical query)."""
-    digest = hashlib.sha256(f"{model_name}|{key!r}".encode()).digest()
-    return int.from_bytes(digest[:8], "big")
 
 
 class EstimationService:
@@ -198,7 +254,12 @@ class EstimationService:
         estimator.table  # raises NotFittedError early on unfitted models
         resolved = self._resolve_fallback(estimator, fallback)
         model = ServedModel(
-            name, estimator, self.config, fallback=resolved, source_path=source_path
+            name,
+            estimator,
+            self.config,
+            fallback=resolved,
+            source_path=source_path,
+            telemetry=self.telemetry,
         )
         with self._registry_lock:
             previous = self._models.get(name)

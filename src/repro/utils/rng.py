@@ -8,6 +8,8 @@ so that every component is reproducible when the caller wants it to be.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 SeedLike = "int | np.random.Generator | None"
@@ -29,3 +31,18 @@ def spawn_rngs(seed: int | np.random.Generator | None, count: int) -> list[np.ra
     root = ensure_rng(seed)
     seeds = root.integers(0, 2**63 - 1, size=count)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def query_seed(model_name: str, key: tuple) -> int:
+    """Stable 64-bit sampling seed for one (model, canonical query).
+
+    The first 8 bytes (big-endian) of ``sha256("model|key")``.  This is
+    THE seed-derivation rule of the serving determinism contract: the
+    service, the cluster workers, and :meth:`Estimator.estimate_batch`'s
+    default fallback all derive per-query generators from it, so a
+    stochastic estimator's answer is a pure function of (model, query)
+    no matter which path computed it.  Pinned by a regression test —
+    changing it invalidates every recorded served selectivity.
+    """
+    digest = hashlib.sha256(f"{model_name}|{key!r}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")

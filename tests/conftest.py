@@ -89,6 +89,7 @@ def _lockset_sanitizer():
         yield None
         return
     from repro.analysis.sanitizer import LocksetSanitizer, install
+    from repro.runtime.plan import PrefixCache
     from repro.serve.batcher import MicroBatcher
     from repro.serve.cache import QueryCache
     from repro.serve.service import EstimationService, ServedModel
@@ -96,7 +97,7 @@ def _lockset_sanitizer():
 
     sanitizer = LocksetSanitizer()
     uninstall = install(
-        [EstimationService, ServedModel, MicroBatcher, QueryCache, Telemetry],
+        [EstimationService, ServedModel, MicroBatcher, QueryCache, Telemetry, PrefixCache],
         sanitizer,
     )
     try:

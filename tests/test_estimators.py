@@ -272,3 +272,70 @@ class TestNaru:
     def test_unfitted(self):
         with pytest.raises(NotFittedError):
             NaruEstimator().estimate(Query.from_pairs([("a", "=", 1)]))
+
+
+class TestBatchSeedDerivation:
+    """estimate_batch must produce the same result whether the caller
+    passes per-query generators (as the serving layer does) or omits
+    them (direct library use): both sides derive the stream from
+    ``query_seed(name, query.cache_key())``. The seed function itself
+    is pinned — changing it silently changes every served estimate."""
+
+    def test_query_seed_is_pinned(self):
+        from repro.utils.rng import query_seed
+
+        # sha256(f"{model}|{key!r}")[:8] big-endian; frozen wire format.
+        assert query_seed("iam", ()) == 2745384861796190775
+        assert query_seed("iam", (("a", "=", 3.0),)) == 11227202855409253206
+        assert (
+            query_seed("demo", (("col", "<=", 1.5), ("x", ">", 2.0)))
+            == 6110562593966321501
+        )
+        # Sensitive to every input part.
+        assert query_seed("iam2", ()) != query_seed("iam", ())
+        assert query_seed("iam", (("a", "=", 4.0),)) != query_seed(
+            "iam", (("a", "=", 3.0),)
+        )
+
+    def test_serve_reexport_is_the_canonical_function(self):
+        from repro.serve import query_seed as served
+        from repro.utils.rng import query_seed
+
+        assert served is query_seed
+
+    def test_base_default_loop_derives_serving_streams(self):
+        from repro.estimators.base import Estimator
+        from repro.utils.rng import ensure_rng, query_seed
+
+        class Stochastic(Estimator):
+            name = "stochastic-test"
+
+            def fit(self, table, workload=None):
+                return self
+
+            def estimate(self, query):
+                return 0.5
+
+            def _estimate_seeded(self, query, rng):
+                return float(rng.random())
+
+            def size_bytes(self):
+                return 0
+
+        est = Stochastic()
+        queries = [
+            Query.from_pairs([("a", "=", 1)]),
+            Query.from_pairs([("a", "=", 2), ("x", "<=", 0.5)]),
+        ]
+        implicit = est.estimate_batch(queries)
+        explicit = est.estimate_batch(
+            queries,
+            rngs=[
+                ensure_rng(query_seed("stochastic-test", q.cache_key()))
+                for q in queries
+            ],
+        )
+        assert implicit.tolist() == explicit.tolist()
+        # And per-query: independent of batch composition.
+        solo = est.estimate_batch([queries[1]])
+        assert solo[0] == implicit[1]

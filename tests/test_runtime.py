@@ -420,24 +420,40 @@ class TestWildcardContextMemo:
             direct = plan.forward_slice(column, tokens, workspace=Workspace()).copy()
             first = plan.forward_slice_wildcard(column, n_rows, workspace).copy()
             assert np.array_equal(first, direct)
-            # Second call replays the memo — corrupt the scratch buffers
+            # Second call replays the cache — corrupt the scratch buffers
             # first to prove the trunk is not rerun.
             for buffer in workspace._buffers.values():
                 if buffer.dtype == plan.dtype:
                     buffer.fill(np.nan)
             again = plan.forward_slice_wildcard(column, n_rows, workspace)
             assert np.array_equal(again, direct)
-        assert len(workspace._memos) == plan.n_columns
+        # One all-wildcard entry per column, now in the plan-owned
+        # shared PrefixCache rather than the per-workspace memo dict.
+        assert len(plan.prefix_cache) == plan.n_columns
+        stats = plan.prefix_cache.stats()
+        assert stats["misses"] == plan.n_columns
+        assert stats["hits"] == plan.n_columns  # the replay round
 
-    def test_sampler_first_column_uses_memo(self):
+    def test_sampler_first_column_uses_prefix_cache(self):
         made = make_model("resmade")
         sampler = ProgressiveSampler(made, n_samples=32, seed=3)
         constraints = toy_constraints(wildcard_col=None)
         sampler.estimate_batch([constraints], rngs=[ensure_rng(5)])
-        memo_keys = [k for k in sampler._workspace._memos if k[0] == "wildcard"]
-        # Exactly the first sampled column's context is memoised.
-        assert len(memo_keys) == 1
-        # And the memoised path stays bitwise-equal to the Module backend.
+        wildcard_keys = [
+            k
+            for k in dict(sampler.plan.prefix_cache.export())
+            if len(k) == 3 and k[1] == ()
+        ]
+        # The first sampled column's all-wildcard context is cached
+        # (once as logits, plus a derived post-softmax "probs" entry).
+        assert len(wildcard_keys) == 1
+        probs_keys = [
+            k
+            for k in dict(sampler.plan.prefix_cache.export())
+            if len(k) == 4 and k[1] == ()
+        ]
+        assert len(probs_keys) == 1
+        # And the cached path stays bitwise-equal to the Module backend.
         module = ProgressiveSampler(made, n_samples=32, seed=3, use_plan=False)
         a = sampler.estimate_batch([constraints], rngs=[ensure_rng(5)])
         b = module.estimate_batch([constraints], rngs=[ensure_rng(5)])
