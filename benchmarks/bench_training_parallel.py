@@ -1,0 +1,30 @@
+"""Data-parallel training: sharded gradient workers vs sequential.
+
+Runs the same determinism-gated sweep as ``python -m repro.bench
+training_parallel`` (W=1 bitwise gate, fixed-W reproducibility,
+tolerance check, shm leak gate) at a reduced worker sweep so the
+pytest-benchmark suite stays quick; the full 1/2/4 sweep and its JSON
+gate live in the CLI command.
+"""
+
+from repro.bench import experiments, record_table
+
+
+def test_training_parallel(benchmark):
+    def sweep():
+        return experiments.training_parallel(worker_counts=(1, 2))
+
+    headers, rows, summary = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_table("training_parallel", headers, rows,
+                 title="Data-parallel training over shared memory")
+
+    # W=1 replays the sequential compiled path bitwise.
+    assert summary["bitwise_w1"]
+    # The largest W is bitwise-reproducible run to run.
+    assert summary["deterministic_fixed_w"]
+    # Every W lands within the documented tolerance of sequential params.
+    assert summary["params_within_tolerance"]
+    # Both training segments were unlinked on engine teardown.
+    assert summary["leaked_segments"] == []
+    # Two workers overlap the modeled stall that one cannot.
+    assert summary["speedup"]["2"] > 1.3, f"no scale-out: {summary['speedup']}"

@@ -587,8 +587,13 @@ class PlanImmutabilityRule(ProjectRule):
 
     # Attribute rebinds are forbidden on plans; caches may bump counters
     # but every array they store must still be frozen.
-    frozen_classes: tuple[str, ...] = ("MADEPlan",)
-    freeze_classes: tuple[str, ...] = ("MADEPlan", "RangeMassCache", "PrefixCache")
+    frozen_classes: tuple[str, ...] = ("MADEPlan", "SharedTrainingData")
+    freeze_classes: tuple[str, ...] = (
+        "MADEPlan",
+        "RangeMassCache",
+        "PrefixCache",
+        "SharedTrainingData",
+    )
 
     def __init__(
         self,

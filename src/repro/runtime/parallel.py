@@ -1,0 +1,574 @@
+"""Data-parallel training: gradient workers over zero-copy shared data.
+
+``repro.serve.cluster`` scaled *inference* across cores; this module
+does the same for the Equation-6 training loop.  Each mini-batch is
+sharded across W spawn-based gradient workers:
+
+::
+
+    coordinator (trainer process)            worker w (spawned)
+    ------------------------------           -----------------------------
+    permutation + wildcard RNG               attach data segment (RO)
+    write params -> shm buffer b      ─────► rebind param.data to buffer b
+    send (step, rows shard, mask)            recompute shard tokens
+                                             TrainStepExecutor.shard_sums
+                                             grads -> shm arena slice w
+    reduce shards in rank order       ◄───── loss sums -> shm slot w
+    clip + Adam on reduced grads
+    (buffer b flips every step)
+
+Shared-memory layout (the :mod:`repro.runtime.shmio` wire format):
+
+- **data segment** (published once, workers attach read-only, zero
+  copy): ``static_tokens`` and every GMM column's raw values — the
+  immutable training inputs.
+- **arena segment**: a double-buffered flat parameter block
+  (``params.0`` / ``params.1``), one flat gradient block per worker
+  (``grads.w``), and one loss-sum row per worker (``sums.w``).  The
+  coordinator writes parameters; worker *w* writes only its own slices.
+
+Determinism contract (house style — see ``docs/training_runtime.md``):
+
+- workers hold fixed row shards of each batch and scale gradients by
+  the *global* ``1/B``, so the full-batch gradient is the sum of shard
+  gradients; the coordinator reduces **in fixed rank order** (a
+  deterministic summation tree) and applies clip + Adam centrally;
+- with ``n_workers=1`` the single shard replays exactly the sequential
+  compiled programs — bitwise-identical losses and parameters;
+- any fixed W is bitwise-reproducible across runs and scheduling
+  interleavings (the reduction order never depends on arrival order);
+- different W only reorder floating-point sums, so final losses and
+  parameters agree within tolerance, not bitwise.
+
+All RNG (epoch permutations, wildcard masks) stays in the coordinator,
+consumed in the sequential order; argmax token assignment consumes no
+RNG and is recomputed shard-locally from the broadcast parameters.
+
+Any failure — spawn timeout, :class:`~repro.errors.CompileError` in a
+worker, a crashed or killed worker mid-step — raises
+:class:`~repro.errors.ParallelTrainError`; trainers catch it and replay
+the in-flight step on the sequential compiled path (the wildcard mask
+is already drawn, parameters were never touched), then continue
+sequentially.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import time
+from multiprocessing import get_context
+
+import numpy as np
+
+from repro.errors import ParallelTrainError
+from repro.runtime import shmio
+from repro.runtime.train import TrainStepExecutor
+
+__all__ = [
+    "ParallelTrainEngine",
+    "SharedTrainingData",
+    "leaked_segments",
+    "shard_bounds",
+]
+
+SEGMENT_PREFIX = "repro-train"
+_DATA_MAGIC = b"IAMTDAT1"
+_ARENA_MAGIC = b"IAMTARN1"
+
+# Process-global generation counter (several engines may coexist).
+_NONCES = itertools.count(1)
+
+
+def _segment_name(kind: str, nonce: int) -> str:
+    return f"{SEGMENT_PREFIX}-{kind}-{os.getpid():x}-{nonce:x}"
+
+
+def leaked_segments() -> list[str]:
+    """Training segments still linked in /dev/shm — the leak gate."""
+    return shmio.leaked_segments(SEGMENT_PREFIX)
+
+
+def shard_bounds(n_rows: int, n_shards: int) -> list[tuple[int, int]]:
+    """Balanced contiguous ``[lo, hi)`` shard bounds, deterministic.
+
+    The first ``n_rows % n_shards`` shards get one extra row.  Empty
+    shards (batch smaller than W) come out as ``lo == hi`` and are
+    skipped by the coordinator.
+    """
+    base, extra = divmod(n_rows, n_shards)
+    bounds = []
+    lo = 0
+    for i in range(n_shards):
+        hi = lo + base + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def _frozen_view(array: np.ndarray) -> np.ndarray:
+    """A read-only view of ``array`` (the shared mapping stays writable)."""
+    view = array.view()
+    view.setflags(write=False)
+    return view
+
+
+class SharedTrainingData:
+    """Worker-side view of the published training inputs.
+
+    Every array is a frozen zero-copy view straight into the shared
+    mapping — the training set is never duplicated per worker.  The
+    instance is an immutable snapshot (enforced by the
+    ``plan-immutability`` lint, like :class:`~repro.runtime.plan.MADEPlan`);
+    the mapping itself is reclaimed when the worker process exits.
+    """
+
+    def __init__(self, meta: dict, arrays: dict[str, np.ndarray]):
+        self.n_rows = int(meta["n_rows"])
+        self.gmm_columns = tuple(int(c) for c in meta["gmm_columns"])
+        self.static_tokens = _frozen_view(arrays["static_tokens"])
+        raw: dict[int, np.ndarray] = {}
+        for column in self.gmm_columns:
+            raw[column] = _frozen_view(arrays[f"raw.{column}"])
+        self.raw_columns = raw
+
+
+def _canonical_params(model, gmm_modules: dict) -> list:
+    """The one parameter order both sides derive independently."""
+    params = list(model.parameters())
+    for module in gmm_modules.values():
+        params.extend(module.parameters())
+    return params
+
+
+def _param_views(flat: np.ndarray, layout: list[dict]) -> list[np.ndarray]:
+    views = []
+    offset = 0
+    for entry in layout:
+        size = int(entry["size"])
+        views.append(flat[offset : offset + size].reshape(entry["shape"]))
+        offset += size
+    return views
+
+
+def _shard_tokens(data: SharedTrainingData, gmm_modules: dict,
+                  rows: np.ndarray) -> np.ndarray:
+    """Recompute the shard's reduced tokens from the live parameters.
+
+    Mirrors ``JointTrainer._assign_tokens`` in argmax mode: static ids
+    gathered from the shared token matrix, GMM ids re-derived per batch
+    (argmax consumes no RNG, so shard-local recomputation is exact).
+    """
+    tokens = data.static_tokens[rows]
+    for column, module in gmm_modules.items():
+        tokens[:, column] = module.assign_numpy(data.raw_columns[column][rows])
+    return tokens
+
+
+def _worker_main(conn, worker_id: int, data_name: str, arena_name: str,
+                 payload: bytes, row_stall_us: float) -> None:
+    """Gradient-worker process body (spawn entry point).
+
+    Attaches both segments, rebuilds the model structure from the
+    pickled payload (parameter VALUES arrive through the shared
+    parameter buffers every step, never through the pickle), pre-binds
+    its gradient arena slice, then serves ``step`` messages until
+    ``stop``.  Mappings are reclaimed on process exit; workers never
+    unlink (the coordinator owns segment lifetime).
+    """
+    try:
+        model, gmm_modules = pickle.loads(payload)
+        data_meta, data_arrays, _data_seg = shmio.map_segment(data_name, _DATA_MAGIC)
+        arena_meta, arena_arrays, _arena_seg = shmio.map_segment(arena_name, _ARENA_MAGIC)
+        data = SharedTrainingData(data_meta, data_arrays)
+
+        params = _canonical_params(model, gmm_modules)
+        layout = arena_meta["params"]
+        param_buffers = [
+            [_frozen_view(v) for v in _param_views(arena_arrays[f"params.{b}"], layout)]
+            for b in (0, 1)
+        ]
+        grad_views = _param_views(arena_arrays[f"grads.{worker_id}"], layout)
+        sums = arena_arrays[f"sums.{worker_id}"]
+
+        executor = TrainStepExecutor(
+            model=model, gmm_modules=gmm_modules, raw_columns=data.raw_columns
+        )
+        executor.bind_external_grads(zip(params, grad_views))
+        conn.send(("ready", worker_id, os.getpid()))
+
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind != "step":  # pragma: no cover - protocol guard
+                conn.send(("error", -1, f"unknown message kind {kind!r}"))
+                continue
+            _, step_id, buf_index, denom, train_gmms, train_ar, rows, mask = message
+            # Sync to the parameters the coordinator published for this
+            # step: rebind .data to the indicated read-only buffer.
+            for param, view in zip(params, param_buffers[buf_index]):
+                param.data = view
+            if row_stall_us > 0.0:
+                # Benchmark hook: modeled per-row data stall (see
+                # repro.bench training_parallel) — sleeps, not compute,
+                # so shards overlap even on a single core.
+                time.sleep(len(rows) * row_stall_us * 1e-6)
+            tokens = _shard_tokens(data, gmm_modules, rows) if train_ar else None
+            ar_sum, gmm_sums = executor.shard_sums(
+                rows=rows,
+                tokens=tokens,
+                wildcard_mask=mask,
+                train_gmms=train_gmms,
+                train_ar=train_ar,
+                denom=denom,
+            )
+            sums[0] = 0.0 if ar_sum is None else ar_sum
+            for j, column in enumerate(data.gmm_columns):
+                sums[1 + j] = gmm_sums.get(column, 0.0)
+            conn.send(("done", step_id))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent gone
+        pass
+    except Exception as exc:  # surface init/step failures to the parent
+        try:
+            conn.send(("error", -1, f"{type(exc).__name__}: {exc}"))
+        except OSError:  # pragma: no cover - pipe already closed
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        # Hard-exit: executor tapes and rebound parameters hold live
+        # views into the shared mappings, so interpreter-shutdown GC
+        # would hit SharedMemory.__del__ with exported pointers.  The
+        # OS unmaps everything on process exit; the coordinator owns
+        # unlinking.
+        os._exit(0)
+
+
+class ParallelTrainEngine:
+    """Coordinator for W gradient workers over one shared training set.
+
+    Lifecycle: :meth:`start` publishes the segments and spawns the
+    workers (raising :class:`ParallelTrainError` — after cleaning up —
+    if anything fails to come up); :meth:`step` drives one mini-batch
+    and leaves reduced gradients in ``param.grad``; :meth:`close`
+    stops the workers and unlinks the segments (idempotent; trainers
+    call it from a ``finally``).
+
+    The engine is single-threaded by design — the step protocol is a
+    strict send-all / await-all barrier, so no coordinator-side locks
+    or monitor threads exist.  ``row_stall_us`` is a benchmark hook: a
+    modeled per-row data stall applied inside each worker (see
+    ``repro.bench training_parallel``).
+    """
+
+    def __init__(self, model, gmm_modules: dict, raw_columns: dict,
+                 static_tokens: np.ndarray, n_workers: int, *,
+                 row_stall_us: float = 0.0,
+                 start_timeout_s: float = 120.0,
+                 step_timeout_s: float = 300.0):
+        if n_workers < 1:
+            raise ParallelTrainError(f"n_workers must be >= 1, got {n_workers}")
+        self.model = model
+        self.gmm_modules = dict(gmm_modules)
+        self.gmm_columns = tuple(self.gmm_modules)
+        self.n_workers = int(n_workers)
+        self.row_stall_us = float(row_stall_us)
+        self.start_timeout_s = float(start_timeout_s)
+        self.step_timeout_s = float(step_timeout_s)
+        self._static_tokens = np.ascontiguousarray(static_tokens, dtype=np.int64)
+        self._raw_columns = {
+            int(column): np.ascontiguousarray(values, dtype=np.float64)
+            for column, values in raw_columns.items()
+        }
+        self._params = _canonical_params(model, self.gmm_modules)
+        self._n_ar_params = len(list(model.parameters()))
+        self.steps = 0
+        self._step_id = 0
+        self._started = False
+        self._closed = False
+        self._procs: list = []
+        self._conns: list = []
+        self._data_segment = None
+        self._arena_segment = None
+        self._arena_map = None
+        self._arena_arrays = None
+        self._param_out_views: list[list[np.ndarray]] = []
+        self._grad_views: list[list[np.ndarray]] = []
+        self._sums_views: list[np.ndarray] = []
+        self._reduced: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self._started and not self._closed
+
+    def start(self) -> None:
+        """Publish segments, spawn W workers, await their ready handshakes."""
+        if self._started or self._closed:
+            raise ParallelTrainError("engine already started or closed")
+        try:
+            self._publish_segments()
+            self._spawn_workers()
+            self._await_ready()
+        except ParallelTrainError:
+            self.close()
+            raise
+        except Exception as exc:
+            self.close()
+            raise ParallelTrainError(f"engine start failed: {exc}") from exc
+        self._started = True
+
+    def _publish_segments(self) -> None:
+        nonce = next(_NONCES)
+        data_arrays: dict[str, np.ndarray] = {"static_tokens": self._static_tokens}
+        for column, values in self._raw_columns.items():
+            data_arrays[f"raw.{column}"] = values
+        data_meta = {
+            "n_rows": int(len(self._static_tokens)),
+            "gmm_columns": [int(c) for c in self.gmm_columns],
+        }
+        self._data_segment = shmio.publish_segment(
+            _segment_name("data", nonce), _DATA_MAGIC, data_meta, data_arrays
+        )
+
+        layout = [
+            {"shape": list(p.data.shape), "size": int(p.data.size)}
+            for p in self._params
+        ]
+        total = sum(entry["size"] for entry in layout)
+        flat_params = (
+            np.concatenate([p.data.ravel() for p in self._params])
+            if self._params
+            else np.zeros(0)
+        )
+        zero_grads = np.zeros(total)
+        n_sums = 1 + len(self.gmm_columns)
+        zero_sums = np.zeros(n_sums)
+        arena_arrays: dict[str, np.ndarray] = {
+            "params.0": flat_params,
+            "params.1": flat_params,
+        }
+        for w in range(self.n_workers):
+            arena_arrays[f"grads.{w}"] = zero_grads
+            arena_arrays[f"sums.{w}"] = zero_sums
+        arena_meta = {
+            "params": layout,
+            "n_workers": self.n_workers,
+            "n_sums": n_sums,
+        }
+        self._arena_segment = shmio.publish_segment(
+            _segment_name("arena", nonce), _ARENA_MAGIC, arena_meta, arena_arrays
+        )
+
+        _meta, arrays, self._arena_map = shmio.map_segment(
+            self._arena_segment.name, _ARENA_MAGIC
+        )
+        self._arena_arrays = arrays
+        self._param_out_views = [
+            _param_views(arrays[f"params.{b}"], layout) for b in (0, 1)
+        ]
+        self._grad_views = [
+            _param_views(arrays[f"grads.{w}"], layout)
+            for w in range(self.n_workers)
+        ]
+        self._sums_views = [arrays[f"sums.{w}"] for w in range(self.n_workers)]
+        self._reduced = [np.empty_like(p.data) for p in self._params]
+
+    def _spawn_workers(self) -> None:
+        ctx = get_context("spawn")
+        payload = pickle.dumps(
+            (self.model, self.gmm_modules), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        for worker_id in range(self.n_workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, worker_id, self._data_segment.name,
+                      self._arena_segment.name, payload, self.row_stall_us),
+                name=f"repro-train-{worker_id}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def _await_ready(self) -> None:
+        deadline = time.monotonic() + self.start_timeout_s
+        for worker_id, conn in enumerate(self._conns):
+            message = self._recv(worker_id, conn, deadline)
+            if message[0] == "error":
+                raise ParallelTrainError(
+                    f"worker {worker_id} failed to start: {message[2]}"
+                )
+            if message[0] != "ready":  # pragma: no cover - protocol guard
+                raise ParallelTrainError(
+                    f"worker {worker_id} sent {message[0]!r} before ready"
+                )
+
+    def _recv(self, worker_id: int, conn, deadline: float):
+        """Receive one message, watching for death and the deadline."""
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ParallelTrainError(f"worker {worker_id} timed out")
+            try:
+                if conn.poll(min(remaining, 0.2)):
+                    return conn.recv()
+            except (EOFError, OSError):
+                raise ParallelTrainError(f"worker {worker_id} died") from None
+            if not self._procs[worker_id].is_alive():
+                raise ParallelTrainError(f"worker {worker_id} died")
+
+    # ------------------------------------------------------------------
+    def step(self, rows: np.ndarray, wildcard_mask: np.ndarray | None,
+             train_gmms: bool, train_ar: bool) -> float | None:
+        """One sharded training step; reduced gradients land in ``.grad``.
+
+        Raises :class:`ParallelTrainError` on any worker failure — the
+        caller replays the step sequentially (parameters are untouched:
+        the optimizer only runs after a successful reduction).
+        """
+        if not self.alive:
+            raise ParallelTrainError("engine is not running")
+        has_gmm = train_gmms and bool(self.gmm_modules)
+        has_ar = train_ar and self.model is not None
+        if not has_gmm and not has_ar:
+            return None
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        denom = len(rows)
+        step_id = self._step_id
+        self._step_id += 1
+        buf_index = step_id % 2
+
+        # Broadcast this step's parameters through the double buffer.
+        view = None
+        for view, param in zip(self._param_out_views[buf_index], self._params):
+            np.copyto(view, param.data)
+        # Drop the loop-local arena view: on a worker failure the raised
+        # error's traceback pins this frame, and a lingering view would
+        # block the arena unmap during the trainer's fallback cleanup.
+        del view
+
+        active: list[int] = []
+        try:
+            for worker_id, (lo, hi) in enumerate(
+                shard_bounds(denom, self.n_workers)
+            ):
+                if lo == hi:
+                    continue
+                mask_shard = (
+                    wildcard_mask[lo:hi] if wildcard_mask is not None else None
+                )
+                self._conns[worker_id].send(
+                    ("step", step_id, buf_index, denom, train_gmms, train_ar,
+                     rows[lo:hi], mask_shard)
+                )
+                active.append(worker_id)
+            deadline = time.monotonic() + self.step_timeout_s
+            for worker_id in active:
+                message = self._recv(worker_id, self._conns[worker_id], deadline)
+                if message[0] == "error":
+                    raise ParallelTrainError(
+                        f"worker {worker_id} failed: {message[2]}"
+                    )
+                if message[0] != "done" or message[1] != step_id:
+                    raise ParallelTrainError(
+                        f"worker {worker_id} answered out of protocol"
+                    )
+        except ParallelTrainError:
+            raise
+        except (OSError, EOFError, BrokenPipeError) as exc:
+            raise ParallelTrainError(f"worker pipe failure: {exc}") from None
+
+        self._reduce_grads(active, has_gmm, has_ar)
+        self.steps += 1
+        return self._reduce_loss(active, denom, has_gmm, has_ar)
+
+    def _reduce_grads(self, active: list[int], has_gmm: bool,
+                      has_ar: bool) -> None:
+        """Rank-ordered shard summation into stable coordinator buffers.
+
+        Strictly ``shard[active[0]] + shard[active[1]] + ...`` for every
+        parameter — a fixed-order summation tree, so the result never
+        depends on worker completion order.  ``param.grad`` is bound to
+        the reduced buffer, ready for clip + optimizer.
+        """
+        for index, param in enumerate(self._params):
+            is_ar = index < self._n_ar_params
+            if is_ar and not has_ar:
+                continue
+            if not is_ar and not has_gmm:
+                continue
+            reduced = self._reduced[index]
+            np.copyto(reduced, self._grad_views[active[0]][index])
+            for worker_id in active[1:]:
+                np.add(reduced, self._grad_views[worker_id][index], out=reduced)
+            param.grad = reduced
+
+    def _reduce_loss(self, active: list[int], denom: int, has_gmm: bool,
+                     has_ar: bool) -> float:
+        """Combine shard loss sums with the executor's exact scaling ops."""
+        loss = None
+        if has_gmm:
+            for j in range(len(self.gmm_columns)):
+                raw = float(self._sums_views[active[0]][1 + j])
+                for worker_id in active[1:]:
+                    raw = raw + float(self._sums_views[worker_id][1 + j])
+                term = -(raw * (1.0 / denom))
+                loss = term if loss is None else loss + term
+        if has_ar:
+            raw = float(self._sums_views[active[0]][0])
+            for worker_id in active[1:]:
+                raw = raw + float(self._sums_views[worker_id][0])
+            ar_loss = -(raw * (1.0 / denom))
+            loss = ar_loss if loss is None else loss + ar_loss
+        return float(loss)
+
+    # ------------------------------------------------------------------
+    def kill_worker(self, worker_id: int) -> None:
+        """SIGKILL one worker (crash-injection hook for tests/benchmarks)."""
+        self._procs[worker_id].kill()
+
+    def close(self) -> None:
+        """Stop workers, drop mappings, unlink segments.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.kill()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        # Drop every view before unmapping, then unlink both segments.
+        self._param_out_views = []
+        self._grad_views = []
+        self._sums_views = []
+        self._arena_arrays = None
+        if self._arena_map is not None:
+            try:
+                self._arena_map.close()
+            except BufferError:  # pragma: no cover - stray view
+                pass
+            self._arena_map = None
+        for segment in (self._data_segment, self._arena_segment):
+            if segment is not None:
+                segment.release()
+        self._data_segment = None
+        self._arena_segment = None

@@ -3,15 +3,15 @@
 A :class:`~repro.runtime.plan.MADEPlan` is immutable, read-only, and
 content-fingerprinted — exactly the shape of data worth mapping once and
 sharing across a pool of worker processes instead of pickling a copy
-into each.  This module owns the wire format:
+into each.  The generic wire format (magic + JSON header + 64-byte
+aligned arrays, refcounted publisher handle, tracker-suppressed attach)
+lives in :mod:`repro.runtime.shmio` — data-parallel training shares it —
+and this module keeps the plan-specific layer:
 
 - :func:`publish_plan` lays the plan's complete array set (via
-  ``MADEPlan.to_buffers()``) into ONE named
-  ``multiprocessing.shared_memory`` segment: an 8-byte magic, a JSON
-  header (fingerprint, per-array dtype/shape/offset), then the raw array
-  bytes, each 64-byte aligned.  The returned :class:`PlanSegment` is
-  refcounted; :meth:`PlanSegment.release` of the last reference unlinks
-  the segment from ``/dev/shm``.
+  ``MADEPlan.to_buffers()``) into ONE named segment.  The returned
+  :class:`PlanSegment` is refcounted; :meth:`PlanSegment.release` of
+  the last reference unlinks the segment from ``/dev/shm``.
 - :func:`attach_plan` maps a segment by name in a worker and rebuilds
   the plan through ``MADEPlan.from_buffers()`` with ndarray views
   straight into the mapping — zero copy, fingerprint-verified, frozen
@@ -24,24 +24,22 @@ into each.  This module owns the wire format:
   heavy arrays never transit the pipe.
 
 Lifetime contract: the parent that publishes a segment owns its unlink
-(refcounted, here); workers only ever ``close`` their mappings.  POSIX
-keeps the memory alive until the last mapping closes, so a parent-side
-unlink never pulls pages out from under a worker still holding views.
+(refcounted, in :class:`~repro.runtime.shmio.Segment`); workers only
+ever ``close`` their mappings.  POSIX keeps the memory alive until the
+last mapping closes, so a parent-side unlink never pulls pages out from
+under a worker still holding views.
 """
 
 from __future__ import annotations
 
 import io
 import itertools
-import json
 import os
 import pickle
-import threading
-from multiprocessing import resource_tracker, shared_memory
-
-import numpy as np
+from multiprocessing import shared_memory
 
 from repro.errors import ConfigError, ServeError
+from repro.runtime import shmio
 from repro.runtime.plan import MADEPlan, Workspace
 
 __all__ = [
@@ -58,7 +56,7 @@ __all__ = [
 ]
 
 _MAGIC = b"IAMPLAN1"
-_ALIGN = 64  # cache-line alignment for every array start
+_ALIGN = shmio.ALIGN  # cache-line alignment for every array start
 _PREFIX = "repro-plan"
 
 # Process-global generation counter: several services (or several reload
@@ -75,48 +73,16 @@ def segment_name(fingerprint: str, nonce: int) -> str:
     return f"{_PREFIX}-{fingerprint}-{os.getpid():x}-{nonce:x}"
 
 
-def _align(offset: int) -> int:
-    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
-
-
 def leaked_segments() -> list[str]:
     """Plan segments still linked in /dev/shm — the benchmark/test leak gate.
 
     Empty on platforms without a visible shm filesystem, in which case
     the gate degrades to the in-process ``PlanSegment.released`` checks.
     """
-    try:
-        names = os.listdir("/dev/shm")
-    except OSError:
-        return []
-    return sorted(name for name in names if name.startswith(_PREFIX))
+    return shmio.leaked_segments(_PREFIX)
 
 
-_attach_lock = threading.Lock()
-
-
-def _attach_segment(name: str) -> shared_memory.SharedMemory:
-    """Open an existing segment WITHOUT registering it for cleanup.
-
-    Python 3.8–3.12 register every ``SharedMemory`` with the resource
-    tracker even when merely attaching (bpo-39959), so a worker exit
-    would unlink a segment the parent still serves from — and workers
-    share one tracker process, whose bookkeeping is a set, so sending
-    compensating ``unregister`` messages from several workers crashes
-    it.  Instead, suppress the registration call for the duration of
-    the attach; the publishing parent owns the unlink.
-    """
-    with _attach_lock:
-        original = resource_tracker.register
-        resource_tracker.register = lambda *args, **kwargs: None
-        try:
-            segment = shared_memory.SharedMemory(name=name)
-        finally:
-            resource_tracker.register = original
-    return segment
-
-
-class PlanSegment:
+class PlanSegment(shmio.Segment):
     """A published plan: parent-side handle with refcounted unlink.
 
     Created holding one reference (the publisher's).  :meth:`retain`
@@ -126,59 +92,17 @@ class PlanSegment:
     past zero; ``released`` tells tests nothing leaked.
     """
 
+    _error = ServeError
+
     def __init__(self, name: str, fingerprint: str, nbytes: int,
                  segment: shared_memory.SharedMemory):
-        self.name = name
+        super().__init__(name, nbytes, segment)
         self.fingerprint = fingerprint
-        self.nbytes = nbytes
-        self._segment = segment
-        self._lock = threading.Lock()
-        self._refs = 1
-        self._unlinked = False
-
-    def retain(self) -> "PlanSegment":
-        with self._lock:
-            if self._unlinked:
-                raise ServeError(f"plan segment {self.name} already unlinked")
-            self._refs += 1
-        return self
-
-    def release(self) -> bool:
-        """Drop one reference; True when this call unlinked the segment."""
-        with self._lock:
-            if self._unlinked:
-                return False
-            self._refs -= 1
-            if self._refs > 0:
-                return False
-            self._unlinked = True
-        self._segment.close()
-        try:
-            self._segment.unlink()
-        except FileNotFoundError:  # pragma: no cover - already gone
-            pass
-        return True
-
-    @property
-    def released(self) -> bool:
-        with self._lock:
-            return self._unlinked
-
-    @property
-    def refcount(self) -> int:
-        with self._lock:
-            return self._refs
 
     def describe(self) -> dict:
-        with self._lock:
-            refs, unlinked = self._refs, self._unlinked
-        return {
-            "name": self.name,
-            "fingerprint": self.fingerprint,
-            "nbytes": self.nbytes,
-            "refcount": refs,
-            "unlinked": unlinked,
-        }
+        described = super().describe()
+        described["fingerprint"] = self.fingerprint
+        return described
 
 
 def publish_plan(plan: MADEPlan, nonce: int | None = None) -> PlanSegment:
@@ -190,36 +114,11 @@ def publish_plan(plan: MADEPlan, nonce: int | None = None) -> PlanSegment:
     if nonce is None:
         nonce = next(_NONCES)
     meta, arrays = plan.to_buffers()
-    entries = []
-    offset = 0
-    for name, array in arrays.items():
-        if not array.flags.c_contiguous:  # pragma: no cover - plans are C-order
-            raise ConfigError(f"plan array {name!r} is not contiguous")
-        offset = _align(offset)
-        entries.append(
-            {
-                "name": name,
-                "dtype": array.dtype.str,
-                "shape": list(array.shape),
-                "offset": offset,
-            }
-        )
-        offset += array.nbytes
-    header = json.dumps({"meta": meta, "arrays": entries}).encode("utf-8")
-    data_start = _align(len(_MAGIC) + 8 + len(header))
-    total = data_start + offset
-
-    segment = shared_memory.SharedMemory(
-        create=True, size=total, name=segment_name(plan.fingerprint, nonce)
+    segment = shmio.publish_segment(
+        segment_name(plan.fingerprint, nonce), _MAGIC, meta, arrays
     )
-    buf = segment.buf
-    buf[: len(_MAGIC)] = _MAGIC
-    buf[len(_MAGIC) : len(_MAGIC) + 8] = len(header).to_bytes(8, "little")
-    buf[len(_MAGIC) + 8 : len(_MAGIC) + 8 + len(header)] = header
-    for entry, array in zip(entries, arrays.values()):
-        start = data_start + entry["offset"]
-        buf[start : start + array.nbytes] = array.tobytes()
-    return PlanSegment(segment.name, plan.fingerprint, total, segment)
+    return PlanSegment(segment.name, plan.fingerprint, segment.nbytes,
+                       segment.mapping)
 
 
 class PlanAttachment:
@@ -259,24 +158,12 @@ def attach_plan(name: str, verify: bool = True) -> PlanAttachment:
     fingerprint (cheap relative to a worker's lifetime, and the only
     defense against attaching a torn or foreign segment).
     """
-    segment = _attach_segment(name)
-    buf = segment.buf
-    if bytes(buf[: len(_MAGIC)]) != _MAGIC:
-        segment.close()
-        raise ConfigError(f"segment {name!r} is not a published plan")
-    header_len = int.from_bytes(bytes(buf[len(_MAGIC) : len(_MAGIC) + 8]), "little")
-    header = json.loads(bytes(buf[len(_MAGIC) + 8 : len(_MAGIC) + 8 + header_len]))
-    data_start = _align(len(_MAGIC) + 8 + header_len)
-    arrays: dict[str, np.ndarray] = {}
-    for entry in header["arrays"]:
-        start = data_start + entry["offset"]
-        count = int(np.prod(entry["shape"], dtype=np.int64))
-        array = np.frombuffer(
-            buf, dtype=np.dtype(entry["dtype"]), count=count, offset=start
-        ).reshape(entry["shape"])
-        arrays[entry["name"]] = array
     try:
-        plan = MADEPlan.from_buffers(header["meta"], arrays, verify=verify)
+        meta, arrays, segment = shmio.map_segment(name, _MAGIC)
+    except ConfigError:
+        raise ConfigError(f"segment {name!r} is not a published plan") from None
+    try:
+        plan = MADEPlan.from_buffers(meta, arrays, verify=verify)
     except Exception:
         del arrays  # release the buffer exports before closing
         segment.close()

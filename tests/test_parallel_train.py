@@ -1,0 +1,271 @@
+"""Data-parallel training: determinism contract, fallback, and hygiene.
+
+The contract under test (docs/training_runtime.md):
+
+- ``n_workers=1`` is bitwise-identical to the sequential compiled path
+  (losses and every final parameter array);
+- any fixed W is bitwise-reproducible run to run;
+- every W lands within documented tolerance of sequential parameters;
+- a worker killed mid-epoch falls back to the sequential path without
+  losing the in-flight step;
+- no /dev/shm segment survives engine teardown.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.training as training_module
+from repro.ar.made import build_made
+from repro.ar.train import ARTrainer, TrainConfig, initialize_output_bias
+from repro.core.config import IAMConfig
+from repro.core.training import JointTrainer
+from repro.errors import ConfigError, ParallelTrainError
+from repro.mixtures.base import GaussianMixture1D
+from repro.mixtures.sgd_gmm import SGDGaussianMixture
+from repro.runtime.parallel import (
+    ParallelTrainEngine,
+    leaked_segments,
+    shard_bounds,
+)
+
+N_ROWS = 256
+BATCH = 64
+EPOCHS = 2
+VOCAB = [4, 6, 4, 5]
+
+
+def _raw_columns(n=N_ROWS):
+    rng = np.random.default_rng(11)
+    return {
+        0: rng.normal(0.0, 3.0, n),
+        2: rng.gamma(2.0, 1.5, n),
+    }
+
+
+def _static_tokens(n=N_ROWS):
+    rng = np.random.default_rng(12)
+    tokens = np.zeros((n, 4), dtype=np.int64)
+    tokens[:, 1] = rng.integers(0, VOCAB[1], n)
+    tokens[:, 3] = rng.integers(0, VOCAB[3], n)
+    return tokens
+
+
+def _gmm(values, k=4):
+    init = GaussianMixture1D(
+        np.full(k, 1.0 / k),
+        np.linspace(float(values.min()), float(values.max()), k),
+        np.full(k, float(values.var()) / k + 1e-3),
+    )
+    return SGDGaussianMixture(init, loc=float(values.mean()), scale=float(values.std()))
+
+
+def _trainer(n_workers, **overrides):
+    raw = _raw_columns()
+    model = build_made(VOCAB, arch="resmade", hidden_sizes=(16, 16), embed_dim=4, seed=5)
+    gmms = {column: _gmm(values) for column, values in raw.items()}
+    config = IAMConfig(
+        epochs=EPOCHS,
+        batch_size=BATCH,
+        hidden_sizes=(16, 16),
+        embed_dim=4,
+        seed=9,
+        n_workers=n_workers,
+        **overrides,
+    )
+    return JointTrainer(model, gmms, raw, _static_tokens(), config)
+
+
+def _all_params(trainer):
+    params = [p.data.copy() for p in trainer.model.parameters()]
+    for module in trainer.gmm_modules.values():
+        params.extend(p.data.copy() for p in module.parameters())
+    return params
+
+
+def test_shard_bounds_balanced_and_exhaustive():
+    for n, w in [(10, 3), (7, 7), (3, 5), (0, 2), (64, 4)]:
+        bounds = shard_bounds(n, w)
+        assert len(bounds) == w
+        assert bounds[0][0] == 0 and bounds[-1][1] == n
+        sizes = [hi - lo for lo, hi in bounds]
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1
+        # contiguous, in order
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo
+
+
+def test_w1_bitwise_identical_to_sequential():
+    seq = _trainer(0)
+    par = _trainer(1)
+    losses_seq = seq.train()
+    losses_par = par.train()
+    assert par.parallel_steps > 0 and par.parallel_fallbacks == 0
+    assert losses_par == losses_seq
+    for a, b in zip(_all_params(seq), _all_params(par)):
+        assert np.array_equal(a, b)
+
+
+def test_fixed_w_bitwise_reproducible_and_within_tolerance():
+    seq = _trainer(0)
+    first = _trainer(2)
+    second = _trainer(2)
+    losses_seq = seq.train()
+    losses_first = first.train()
+    losses_second = second.train()
+    assert losses_first == losses_second
+    for a, b in zip(_all_params(first), _all_params(second)):
+        assert np.array_equal(a, b)
+    # Different shard counts only reorder float sums: close, not bitwise.
+    assert np.allclose(losses_first, losses_seq, rtol=1e-9)
+    for a, b in zip(_all_params(seq), _all_params(first)):
+        assert np.allclose(a, b, rtol=1e-6, atol=1e-8)
+
+
+def test_worker_sigkill_falls_back_without_losing_steps():
+    seq = _trainer(0)
+    losses_seq = seq.train()
+
+    par = _trainer(2)
+
+    def kill_after_first_epoch(epoch, loss):
+        if epoch == 0 and par._parallel is not None:
+            par._parallel.kill_worker(0)
+
+    losses_par = par.train(on_epoch_end=kill_after_first_epoch)
+    steps_per_epoch = -(-N_ROWS // BATCH)
+    assert par.parallel_fallbacks == 1
+    assert par._parallel is None
+    # Every step ran exactly once: the in-flight step was replayed, not lost.
+    assert len(par.step_seconds) == len(seq.step_seconds) == EPOCHS * steps_per_epoch
+    assert len(losses_par) == len(losses_seq) == EPOCHS
+    # Epoch 0 ran at W=2; everything after the kill is sequential, so the
+    # result stays within the cross-W tolerance of the sequential run.
+    for a, b in zip(_all_params(seq), _all_params(par)):
+        assert np.allclose(a, b, rtol=1e-6, atol=1e-8)
+    assert leaked_segments() == []
+
+
+def test_no_segments_leak_after_training():
+    before = set(leaked_segments())
+    par = _trainer(2)
+    par.train()
+    assert set(leaked_segments()) - before == set()
+
+
+def test_sampled_assignment_stays_sequential():
+    par = _trainer(2, assignment="sampled")
+    par.train()
+    assert par.parallel_steps == 0
+    assert par._parallel is None
+
+
+def test_ar_trainer_w1_bitwise_and_timing_summary():
+    rng = np.random.default_rng(3)
+    tokens = np.column_stack(
+        [rng.integers(0, 7, 200), rng.integers(0, 5, 200), rng.integers(0, 9, 200)]
+    )
+
+    def run(w):
+        model = build_made([7, 5, 9], arch="resmade", hidden_sizes=(16, 16), embed_dim=4, seed=2)
+        trainer = ARTrainer(model, TrainConfig(epochs=2, batch_size=64, seed=4, n_workers=w))
+        losses = trainer.train(tokens)
+        return losses, [p.data.copy() for p in model.parameters()], trainer
+
+    losses_seq, params_seq, seq = run(0)
+    losses_par, params_par, par = run(1)
+    assert losses_par == losses_seq
+    for a, b in zip(params_seq, params_par):
+        assert np.array_equal(a, b)
+    assert par.parallel_steps == len(par.step_seconds)
+    timing = par.timing_summary()
+    assert timing["n_workers"] == 1
+    assert timing["n_steps"] == len(par.step_seconds)
+    assert timing["steps_per_sec"] > 0
+    assert len(timing["epoch_seconds"]) == 2
+    assert leaked_segments() == []
+
+
+def test_engine_rejects_bad_worker_counts():
+    raw = _raw_columns()
+    model = build_made(VOCAB, arch="resmade", hidden_sizes=(16, 16), embed_dim=4, seed=5)
+    with pytest.raises(ParallelTrainError):
+        ParallelTrainEngine(
+            model=model,
+            gmm_modules={},
+            raw_columns=raw,
+            static_tokens=_static_tokens(),
+            n_workers=0,
+        )
+    with pytest.raises(ConfigError):
+        IAMConfig(n_workers=-1)
+    with pytest.raises(ConfigError):
+        TrainConfig(n_workers=-1)
+
+
+def test_engine_step_before_start_raises():
+    model = build_made(VOCAB, arch="resmade", hidden_sizes=(16, 16), embed_dim=4, seed=5)
+    engine = ParallelTrainEngine(
+        model=model,
+        gmm_modules={},
+        raw_columns={},
+        static_tokens=_static_tokens(),
+        n_workers=1,
+    )
+    with pytest.raises(ParallelTrainError):
+        engine.step(np.arange(8), wildcard_mask=None, train_gmms=False, train_ar=True)
+    engine.close()  # idempotent even when never started
+    engine.close()
+
+
+# ---------------------------------------------------------------------------
+# Satellite regressions: chunked bias init and empty-epoch loss handling
+# ---------------------------------------------------------------------------
+
+
+def test_chunked_bias_init_bitwise_matches_one_shot(monkeypatch):
+    one_shot = _trainer(0)
+    initialize_output_bias(
+        one_shot.model, one_shot._assign_tokens(np.arange(N_ROWS))
+    )
+    expected = one_shot.model.output_layer.bias.data.copy()
+
+    monkeypatch.setattr(training_module, "_BIAS_INIT_CHUNK", 37)
+    chunked = _trainer(0)
+    chunked._initialize_bias()
+    assert np.array_equal(chunked.model.output_layer.bias.data, expected)
+
+
+def test_initialize_output_bias_counts_matches_tokens():
+    model_a = build_made(VOCAB, arch="resmade", hidden_sizes=(16, 16), embed_dim=4, seed=5)
+    model_b = build_made(VOCAB, arch="resmade", hidden_sizes=(16, 16), embed_dim=4, seed=5)
+    rng = np.random.default_rng(8)
+    tokens = np.column_stack([rng.integers(0, v, 100) for v in VOCAB])
+    initialize_output_bias(model_a, tokens)
+    counts = [
+        np.bincount(tokens[:, k], minlength=v) for k, v in enumerate(VOCAB)
+    ]
+    initialize_output_bias(model_b, counts=counts)
+    assert np.array_equal(
+        model_a.output_layer.bias.data, model_b.output_layer.bias.data
+    )
+
+
+def test_empty_epoch_appends_no_loss_joint():
+    trainer = _trainer(0, train_backend="eager")
+    trainer.gmm_modules = {}
+    calls = []
+    # train_gmms=True with no GMM modules: every batch yields no loss.
+    trainer._run_epochs(2, True, False, lambda e, l: calls.append((e, l)))
+    assert trainer.epoch_losses == []
+    assert calls == []
+    assert len(trainer.epoch_seconds) == 2  # wall clock still recorded
+
+
+def test_empty_epoch_appends_no_loss_ar():
+    model = build_made([7, 5], arch="resmade", hidden_sizes=(16, 16), embed_dim=4, seed=2)
+    trainer = ARTrainer(model, TrainConfig(epochs=2, batch_size=16, seed=4))
+    losses = trainer.train(np.zeros((0, 2), dtype=np.int64))
+    assert losses == []
+    assert trainer.epoch_losses == []
+    assert len(trainer.epoch_seconds) == 2
