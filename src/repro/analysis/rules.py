@@ -435,26 +435,68 @@ def _anchor(info: _ClassInfo) -> ast.AST:
 # ---------------------------------------------------------------------------
 
 
-class DtypeDriftRule(FileRule):
-    """A single autodiff/nn module must not mix float32 and float64 literals.
+# Files implementing the compiled-plan program path.  They legitimately
+# name both dtypes (the dtype parameter itself, the float64 uniform
+# contract), so the literal-mixing check does not apply; instead the
+# plan-path checks below guard the two ways float64 temporaries sneak
+# back into a float32 program.
+_PLAN_PATH_FILES = ("runtime/plan.py", "ar/progressive.py")
 
-    The autodiff substrate is float64 end to end; a stray float32 cast
+# Ufuncs the prebound programs are built from.  A bare call allocates a
+# fresh result at the promotion dtype; with ``out=`` the result lands in
+# a workspace buffer already pinned to the plan dtype.
+_PROGRAM_UFUNCS = frozenset(
+    {"exp", "log", "matmul", "add", "subtract", "multiply", "divide", "maximum"}
+)
+
+# The only constructors allowed to produce a PrefixCache entry: both
+# freeze the array at an explicit dtype, so a cache pinned to float32
+# can never be handed a float64 temporary.
+_FROZEN_HELPERS = frozenset({"_frozen", "_frozen_view"})
+
+
+class DtypeDriftRule(FileRule):
+    """No float64 drift — in autodiff/nn modules or the compiled-plan path.
+
+    Autodiff/nn modules: must not mix float32 and float64 literals. The
+    autodiff substrate is float64 end to end; a stray float32 cast
     inside an op makes finite-difference checks fail at loose tolerances
     only, and silently costs precision in the log-space reductions.
+
+    Compiled-plan path (``runtime/plan.py``, ``ar/progressive.py``):
+    plans carry a precision tier, so the hazard inverts — expressions
+    that silently *reintroduce float64* into a float32 program. Two
+    shapes are flagged: program ufuncs called without ``out=`` (the
+    fresh allocation follows promotion, not the plan dtype) and
+    ``PrefixCache.store`` values that are not ``_frozen``/
+    ``_frozen_view`` calls (the helpers freeze at an explicit dtype;
+    anything else can leak a float64 temporary into a float32 cache).
     """
 
     id = "dtype-drift"
     severity = Severity.ERROR
-    description = "float32/float64 literals mixed within one autodiff/nn module"
+    description = (
+        "float32/float64 literals mixed within one autodiff/nn module, or a "
+        "float64-reintroducing expression on the compiled-plan path"
+    )
     node_types = (ast.Attribute, ast.Call)
 
     def applies_to(self, pf: ParsedFile) -> bool:
-        return bool({"autodiff", "nn"} & set(pf.parts))
+        return bool({"autodiff", "nn"} & set(pf.parts)) or self._plan_path(pf)
+
+    @staticmethod
+    def _plan_path(pf: ParsedFile) -> bool:
+        return pf.rel.replace("\\", "/").endswith(_PLAN_PATH_FILES)
 
     def start_file(self, pf: ParsedFile) -> None:
         self._seen: dict[str, ast.AST] = {}
+        self._plan_mode = self._plan_path(pf)
 
     def visit(self, node: ast.AST, pf: ParsedFile) -> Iterable[Finding]:
+        if self._plan_mode:
+            if isinstance(node, ast.Call):
+                yield from self._visit_plan_call(node, pf)
+            return
         if isinstance(node, ast.Attribute):
             if node.attr in ("float32", "float64"):
                 self._seen.setdefault(node.attr, node)
@@ -466,9 +508,45 @@ class DtypeDriftRule(FileRule):
                     and kw.value.value in ("float32", "float64")
                 ):
                     self._seen.setdefault(kw.value.value, kw.value)
-        return ()
+        return
+
+    def _visit_plan_call(self, node: ast.Call, pf: ParsedFile) -> Iterable[Finding]:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            parts = dotted.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] in ("np", "numpy")
+                and parts[1] in _PROGRAM_UFUNCS
+                and not any(kw.arg == "out" for kw in node.keywords)
+            ):
+                yield self.make_finding(
+                    pf, node,
+                    f"np.{parts[1]} without out= allocates at the promotion "
+                    "dtype on the compiled-plan path; write into a workspace "
+                    "buffer (out=...) so float32 plans stay float32",
+                )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "store"
+            and len(node.args) >= 2
+        ):
+            value = node.args[1]
+            if not (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in _FROZEN_HELPERS
+            ):
+                yield self.make_finding(
+                    pf, value,
+                    "PrefixCache.store value must be a _frozen(...)/"
+                    "_frozen_view(...) call — anything else can leak a "
+                    "float64 temporary into a float32-pinned cache",
+                )
 
     def finish_file(self, pf: ParsedFile) -> Iterable[Finding]:
+        if self._plan_mode:
+            return
         if len(self._seen) == 2:
             # Anchor on the later of the two first occurrences: that is the
             # literal that introduced the drift.

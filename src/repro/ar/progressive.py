@@ -127,6 +127,13 @@ class ProgressiveSampler:
     Module/autodiff path — kept for verification; both backends produce
     bitwise-identical weights). The plan is a snapshot of the weights:
     if the module trains further, build a new sampler.
+
+    ``dtype`` selects the compiled plan's precision tier (forwarded to
+    :func:`~repro.runtime.plan.compile_made`); the whole grouped
+    sampling loop — masses, weights, conditionals — then runs in that
+    dtype.  Per-query *uniform draws* stay float64 regardless: they come
+    from the unchanged seeded generators, so the f32 tier consumes the
+    exact doubles the f64 tier would, in the same order.
     """
 
     def __init__(
@@ -136,15 +143,29 @@ class ProgressiveSampler:
         seed=None,
         stratify_first: bool = False,
         use_plan: bool = True,
+        dtype=None,
     ):
         if n_samples < 1:
             raise ConfigError("n_samples must be >= 1")
         if isinstance(model, MADEPlan):
+            if dtype is not None and np.dtype(dtype) != model.dtype:
+                raise ConfigError(
+                    f"sampler dtype {np.dtype(dtype)} conflicts with the "
+                    f"precompiled plan's dtype {model.dtype}; recompile with "
+                    "compile_made(made, dtype=...) instead"
+                )
             self.model = None
             self.plan = model
         else:
             self.model = model
-            self.plan = compile_made(model) if use_plan else None
+            self.plan = compile_made(model, dtype=dtype) if use_plan else None
+            if self.plan is None and dtype is not None and (
+                np.dtype(dtype) != np.dtype(np.float64)
+            ):
+                raise ConfigError(
+                    "precision tiers require the compiled plan backend; "
+                    "the Module path runs float64 only (use_plan=True)"
+                )
         # The metadata surface (n_columns/vocab_sizes/ar_order/...) both
         # backends share; also what sample_weights dispatches on.
         self.spec = self.plan if self.plan is not None else self.model
@@ -193,7 +214,9 @@ class ProgressiveSampler:
         means = per_query.mean(axis=1)
         # maximum(x, 0.0) is value-identical to clip(x, 0.0, None)
         # (NaNs propagate through both) and much cheaper to dispatch.
-        return np.maximum(means, 0.0) if clip_negative else means
+        # In place into the fresh mean array: keeps the result at the
+        # sampler dtype without a promotion-prone temporary.
+        return np.maximum(means, 0.0, out=means) if clip_negative else means
 
     def estimate_with_error(
         self, constraints: Sequence[SlotConstraint | None]

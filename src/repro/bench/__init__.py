@@ -1,6 +1,11 @@
 """Benchmark harness: drivers that regenerate every paper table/figure."""
 
-from repro.bench.report import format_table, print_table, record_table
+from repro.bench.report import (
+    format_table,
+    print_table,
+    record_table,
+    runtime_provenance,
+)
 from repro.bench.config import BenchScale, bench_scale
 from repro.bench import experiments
 
@@ -8,6 +13,7 @@ __all__ = [
     "format_table",
     "print_table",
     "record_table",
+    "runtime_provenance",
     "BenchScale",
     "bench_scale",
     "experiments",

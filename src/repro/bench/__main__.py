@@ -18,11 +18,26 @@ import json
 import os
 import sys
 
-from repro.bench import bench_scale, experiments, record_table
+from repro.bench import bench_scale, experiments, record_table, runtime_provenance
 
 
 def _single_dataset(args) -> str:
     return args.dataset or "twi"
+
+
+def _write_summary(args, default_name: str, summary: dict) -> None:
+    """Stamp provenance into ``summary`` and write the BENCH_*.json report.
+
+    Every gate report records the numpy/BLAS stack it ran on — latency
+    ratios (and, for the float32 tier, low-order bits) are only
+    comparable between runs of the same numeric stack.
+    """
+    summary["provenance"] = runtime_provenance()
+    out = args.output or default_name
+    with open(out, "w") as fh:
+        json.dump(summary, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
 
 
 def cmd_table1(args) -> None:
@@ -117,11 +132,7 @@ def cmd_inference(args) -> int:
               f"(speedup p50 {summary['speedup_p50']:.1f}x, "
               f"bitwise_equal={summary['bitwise_equal']})",
     )
-    out = args.output or "BENCH_inference.json"
-    with open(out, "w") as fh:
-        json.dump(summary, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {out}")
+    _write_summary(args, "BENCH_inference.json", summary)
     if not summary["bitwise_equal"]:
         print(
             "ERROR: compiled-plan selectivities diverge from the Module path",
@@ -151,11 +162,7 @@ def cmd_inference_batch(args) -> int:
               f"(speedup at 32 {summary['speedup_at_32']:.1f}x, "
               f"bitwise_equal={summary['bitwise_equal']})",
     )
-    out = args.output or "BENCH_inference_batch.json"
-    with open(out, "w") as fh:
-        json.dump(summary, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {out}")
+    _write_summary(args, "BENCH_inference_batch.json", summary)
     failed = False
     if not summary["bitwise_equal"]:
         print(
@@ -173,6 +180,79 @@ def cmd_inference_batch(args) -> int:
         print(
             f"ERROR: batch-32 grouped speedup {summary['speedup_at_32']:.2f}x "
             "is under the 3x gate",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+def cmd_inference_precision(args) -> int:
+    """Precision-tier gate: float32 compiled plan vs the float64 oracle.
+
+    Writes ``BENCH_inference_precision.json`` (per-tier latencies, the
+    f64/f32 speedup ratio, the worst q-error ratio between tiers, plan
+    and segment sizes, and the shared-memory round-trip flags) and exits
+    nonzero if the float64 plan no longer matches the Module path
+    bitwise, the float32 tier's worst q-error ratio exceeds 1.01, the
+    tier speedup falls under 1.4x, the published float32 segment is not
+    clearly smaller than the float64 one, the attach round-trip is not
+    bitwise-faithful, or a segment leaked — CI runs this with
+    ``--smoke``.
+    """
+    if args.smoke:
+        # Must happen before any driver reads bench_scale() (it is lazy).
+        os.environ["REPRO_BENCH_SCALE"] = "micro"
+    dataset = _single_dataset(args)
+    headers, rows, summary = experiments.inference_precision(
+        dataset, n_queries=args.queries
+    )
+    record_table(
+        f"inference_precision_{dataset}", headers, rows,
+        title=f"Precision tiers on {dataset.upper()} "
+              f"(f64/f32 speedup p50 {summary['speedup_p50']:.2f}x, "
+              f"max q-error ratio {summary['max_qerror_ratio']:.6f})",
+    )
+    _write_summary(args, "BENCH_inference_precision.json", summary)
+    failed = False
+    if not summary["bitwise_f64"]:
+        print(
+            "ERROR: the float64 plan no longer matches the Module path bitwise",
+            file=sys.stderr,
+        )
+        failed = True
+    worst_qerror = max(
+        summary["max_qerror_ratio"], summary["probe"]["max_qerror_ratio"]
+    )
+    if worst_qerror > 1.01:
+        print(
+            f"ERROR: float32 worst q-error ratio {worst_qerror:.6f} "
+            "exceeds the 1.01 tolerance contract",
+            file=sys.stderr,
+        )
+        failed = True
+    if summary["speedup_p50"] < 1.4:
+        print(
+            f"ERROR: float32 tier speedup {summary['speedup_p50']:.2f}x "
+            "is under the 1.4x gate",
+            file=sys.stderr,
+        )
+        failed = True
+    if summary["segment_ratio"] > 0.6:
+        print(
+            f"ERROR: float32 segment is {summary['segment_ratio']:.2f}x the "
+            "float64 bytes — expected roughly half (<= 0.6x)",
+            file=sys.stderr,
+        )
+        failed = True
+    if not summary["shm_roundtrip_equal"]:
+        print(
+            "ERROR: attached float32 plan diverges from the in-process tier",
+            file=sys.stderr,
+        )
+        failed = True
+    if summary["leaked_segments"]:
+        print(
+            f"ERROR: leaked shared-memory segments: {summary['leaked_segments']}",
             file=sys.stderr,
         )
         failed = True
@@ -199,11 +279,7 @@ def cmd_training(args) -> int:
               f"(speedup {summary['speedup_steps_per_sec']:.1f}x, "
               f"bitwise_equal={summary['bitwise_equal']})",
     )
-    out = args.output or "BENCH_training.json"
-    with open(out, "w") as fh:
-        json.dump(summary, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {out}")
+    _write_summary(args, "BENCH_training.json", summary)
     failed = False
     if not summary["bitwise_equal"]:
         print(
@@ -244,11 +320,7 @@ def cmd_training_parallel(args) -> int:
               f"(speedup x{summary['speedup_at_max_w']:.1f} at "
               f"W={summary['repeat_w']}, bitwise_w1={summary['bitwise_w1']})",
     )
-    out = args.output or "BENCH_training_parallel.json"
-    with open(out, "w") as fh:
-        json.dump(summary, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {out}")
+    _write_summary(args, "BENCH_training_parallel.json", summary)
     failed = False
     if not summary["bitwise_w1"]:
         print(
@@ -310,11 +382,7 @@ def cmd_serve_scale(args) -> int:
               f"(QPS x{scaling} from 1 to 4 workers, "
               f"bitwise_equal={summary['bitwise_equal']})",
     )
-    out = args.output or "BENCH_serve_scale.json"
-    with open(out, "w") as fh:
-        json.dump(summary, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {out}")
+    _write_summary(args, "BENCH_serve_scale.json", summary)
     failed = False
     if not summary["bitwise_equal"]:
         print(
@@ -354,6 +422,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "inference": cmd_inference,
     "inference_batch": cmd_inference_batch,
+    "inference_precision": cmd_inference_precision,
     "training": cmd_training,
     "training_parallel": cmd_training_parallel,
     "serve_scale": cmd_serve_scale,

@@ -692,6 +692,264 @@ def inference_runtime(dataset: str = "twi", n_queries: int | None = None, repeat
 
 
 # ----------------------------------------------------------------------
+# Runtime: float32 serving tier vs the float64 oracle plan
+# ----------------------------------------------------------------------
+def max_qerror_ratio(reference, candidate, floor: float = 1e-12) -> float:
+    """Largest multiplicative divergence between two estimate vectors.
+
+    The precision-tier tolerance contract is stated in q-error terms: for
+    every query, the q-error a float32 estimate would incur against the
+    float64 estimate treated as truth (and vice versa — the measure is
+    symmetric). ``floor`` keeps exact zeros from producing infinities;
+    both tiers floor at the same value so a shared zero scores 1.0.
+    """
+    ref = np.maximum(np.asarray(reference, dtype=np.float64), floor)
+    cand = np.maximum(np.asarray(candidate, dtype=np.float64), floor)
+    return float(np.max(np.maximum(ref / cand, cand / ref)))
+
+
+def _precision_probe_queries(n_columns: int, vocab: int, n_queries: int, seed: int):
+    """Synthetic range constraints for the serving-shaped latency probe.
+
+    Each query constrains three columns with a contiguous token interval
+    whose edge tokens carry fractional mass — the shape GMM-reduced
+    range predicates produce. Masses are float64; each tier casts them
+    to its own working dtype inside ``resolve_mass``.
+    """
+    from repro.ar.progressive import SlotConstraint
+
+    rng = ensure_rng(seed)
+    queries = []
+    for _ in range(n_queries):
+        constraints: list = [None] * n_columns
+        for column in rng.choice(n_columns, size=min(3, n_columns), replace=False):
+            lo = int(rng.integers(0, vocab - 1))
+            hi = int(rng.integers(lo + 1, vocab + 1))
+            mass = np.zeros(vocab)
+            mass[lo:hi] = 1.0
+            mass[lo] = rng.uniform(0.2, 1.0)
+            mass[hi - 1] *= rng.uniform(0.2, 1.0)
+            constraints[int(column)] = SlotConstraint(mass=mass)
+        queries.append(constraints)
+    return queries
+
+
+def inference_precision(dataset: str = "twi", n_queries: int | None = None,
+                        repeats: int = 5, probe_samples: int = 2048,
+                        probe_hidden: tuple[int, ...] = (128, 128, 128),
+                        probe_vocab: int = 48, probe_columns: int = 6):
+    """Precision-tier gate: the float32 compiled plan vs the float64 oracle.
+
+    Two parts, one summary:
+
+    **Fidelity** runs on the fitted IAM at the active scale. One model
+    supplies both tiers — two identically-seeded progressive samplers
+    over the *same* reducers (so interval estimators, and therefore
+    range masses up to rounding, are shared), one compiled at float64
+    and one at float32. Per-query uniforms come from the same seeded
+    float64 generators in both tiers, so the only difference between
+    the paths is arithmetic width. Checks: the float64 plan still
+    matches the Module path *bitwise* (the oracle contract the tier
+    system is built on); the float32 tier's worst q-error ratio against
+    float64 stays within the documented tolerance (gated at 1.01 by the
+    CLI); a published float32 segment is roughly half the float64
+    bytes, attaches with ``verify=True``, answers bitwise-identically
+    to the in-process float32 plan, and leaks nothing in /dev/shm.
+
+    **Latency** runs on a serving-shaped probe model (``probe_hidden``
+    trunk, ``probe_samples`` progressive samples) instead of the fitted
+    one: at the micro scale the fitted MADE is 24 wide with 64 samples,
+    where fixed per-query dispatch swamps arithmetic entirely and the
+    measured ratio says nothing about precision. The probe compiles the
+    *same* weights at both tiers and runs identical synthetic range
+    queries through the full grouped sampling loop, so the f64/f32
+    ratio isolates arithmetic width at the shapes serving actually
+    runs. ``speedup_p50`` is the median of per-query float64/float32
+    latency ratios, best-of-``repeats`` after a warm-up pass; the probe
+    tiers are *also* held to the q-error tolerance.
+
+    The summary dict feeds ``BENCH_inference_precision.json``.
+    """
+    import gc
+
+    from repro.ar.made import build_made
+    from repro.ar.progressive import ProgressiveSampler
+    from repro.core.inference import IAMInference
+    from repro.serve.cluster.shm import attach_plan, leaked_segments, publish_plan
+
+    scale = bench_scale()
+    _, test = get_workloads(dataset)
+    queries = test.queries[: n_queries or min(32, len(test.queries))]
+    estimator, _ = get_estimator("iam", dataset)
+    core = estimator.model
+    cfg = core.config
+    sampler_kwargs = dict(
+        n_samples=cfg.n_progressive_samples,
+        stratify_first=cfg.stratified_sampling,
+    )
+
+    def build(dtype=None, plan=None, use_plan: bool = True) -> IAMInference:
+        sampler = ProgressiveSampler(
+            plan if plan is not None else core.model,
+            seed=ensure_rng(cfg.seed),
+            use_plan=use_plan,
+            dtype=dtype,
+            **sampler_kwargs,
+        )
+        return IAMInference(
+            core.table, core.reducers, sampler, bias_correction=cfg.bias_correction
+        )
+
+    paths = {
+        "module": build(use_plan=False),
+        "float64": build(),
+        "float32": build(np.float32),
+    }
+    rngs_for = lambda i: [ensure_rng(1000 + i)]  # noqa: E731
+    latencies, answers = {}, {}
+    for label, inference in paths.items():
+        for i, query in enumerate(queries):  # warm-up: caches + workspaces
+            inference.estimate_batch([query], rngs=rngs_for(i))
+        per_query = np.empty((repeats, len(queries)))
+        for r in range(repeats):
+            got = []
+            for i, query in enumerate(queries):
+                rng = rngs_for(i)  # generator setup is not the path under test
+                with Timer() as timer:
+                    got.append(inference.estimate_batch([query], rngs=rng)[0])
+                per_query[r, i] = timer.elapsed_ms
+        answers[label] = np.asarray(got)
+        latencies[label] = per_query.min(axis=0)
+
+    bitwise_f64 = bool(np.array_equal(answers["module"], answers["float64"]))
+    qerror_ratio = max_qerror_ratio(answers["float64"], answers["float32"])
+    p50 = {k: float(np.percentile(v, 50)) for k, v in latencies.items()}
+    p95 = {k: float(np.percentile(v, 95)) for k, v in latencies.items()}
+    plans = {label: paths[label].sampler.plan for label in ("float64", "float32")}
+
+    # Serving-shaped latency probe: same weights, both tiers, identical
+    # synthetic queries and per-query uniform streams.
+    probe_made = build_made(
+        [probe_vocab] * probe_columns, arch="resmade",
+        hidden_sizes=probe_hidden, embed_dim=16, seed=11,
+    )
+    probe_queries = _precision_probe_queries(
+        probe_columns, probe_vocab, len(queries), seed=55
+    )
+    probe_samplers = {
+        "float64": ProgressiveSampler(
+            probe_made, n_samples=probe_samples, seed=ensure_rng(9)
+        ),
+        "float32": ProgressiveSampler(
+            probe_made, n_samples=probe_samples, seed=ensure_rng(9),
+            dtype=np.float32,
+        ),
+    }
+    probe_latencies, probe_answers = {}, {}
+    for label, sampler in probe_samplers.items():
+        for i, constraints in enumerate(probe_queries):  # warm-up
+            sampler.estimate_batch([constraints], rngs=rngs_for(i))
+        per_query = np.empty((repeats, len(probe_queries)))
+        for r in range(repeats):
+            got = []
+            for i, constraints in enumerate(probe_queries):
+                rng = rngs_for(i)
+                with Timer() as timer:
+                    got.append(
+                        sampler.estimate_batch([constraints], rngs=rng)[0]
+                    )
+                per_query[r, i] = timer.elapsed_ms
+        probe_answers[label] = np.asarray(got)
+        probe_latencies[label] = per_query.min(axis=0)
+    ratios = probe_latencies["float64"] / np.maximum(probe_latencies["float32"], 1e-9)
+    probe_p50 = {k: float(np.percentile(v, 50)) for k, v in probe_latencies.items()}
+    probe_qerror = max_qerror_ratio(
+        probe_answers["float64"], probe_answers["float32"]
+    )
+
+    # Publish both tiers; the float32 segment must round-trip bitwise.
+    baseline_leaks = set(leaked_segments())
+    segments = {label: publish_plan(plan) for label, plan in plans.items()}
+    segment_bytes = {label: seg.nbytes for label, seg in segments.items()}
+    attachment = attach_plan(segments["float32"].name, verify=True)
+    remote = build(plan=attachment.plan)
+    remote_answers = np.asarray(
+        [
+            remote.estimate_batch([query], rngs=rngs_for(i))[0]
+            for i, query in enumerate(queries)
+        ]
+    )
+    roundtrip_equal = bool(np.array_equal(remote_answers, answers["float32"]))
+    del remote
+    gc.collect()  # drop the worker-side plan views before unmapping
+    attachment_closed = attachment.close()
+    for seg in segments.values():
+        seg.release()
+    leaks = sorted(set(leaked_segments()) - baseline_leaks)
+
+    headers = ["Tier", "p50 ms/query", "p95 ms/query", "plan KB", "segment KB"]
+    rows = [
+        ["module (f64)", round(p50["module"], 3), round(p95["module"], 3), "-", "-"]
+    ]
+    for label in ("float64", "float32"):
+        rows.append(
+            [
+                label,
+                round(p50[label], 3),
+                round(p95[label], 3),
+                round(plans[label].nbytes() / 1024, 1),
+                round(segment_bytes[label] / 1024, 1),
+            ]
+        )
+    for label in ("float64", "float32"):
+        rows.append(
+            [
+                f"probe {label}",
+                round(probe_p50[label], 3),
+                round(float(np.percentile(probe_latencies[label], 95)), 3),
+                round(probe_samplers[label].plan.nbytes() / 1024, 1),
+                "-",
+            ]
+        )
+    summary = {
+        "experiment": "inference_precision",
+        "dataset": dataset,
+        "scale": scale.name,
+        "n_queries": len(queries),
+        "repeats": repeats,
+        "p50_ms": p50,
+        "p95_ms": p95,
+        "speedup_p50": float(np.percentile(ratios, 50)),
+        "max_qerror_ratio": qerror_ratio,
+        "probe": {
+            "n_samples": probe_samples,
+            "hidden_sizes": list(probe_hidden),
+            "vocab": probe_vocab,
+            "n_columns": probe_columns,
+            "p50_ms": probe_p50,
+            "max_qerror_ratio": probe_qerror,
+            "note": (
+                "speedup_p50 is measured on this serving-shaped probe: at "
+                "micro scale the fitted plan is too small for arithmetic "
+                "width to register over fixed dispatch overhead"
+            ),
+        },
+        "bitwise_f64": bitwise_f64,
+        "plan_dtype": {label: str(plan.dtype) for label, plan in plans.items()},
+        "plan_nbytes": {label: plan.nbytes() for label, plan in plans.items()},
+        "plan_fingerprint": {
+            label: plan.fingerprint for label, plan in plans.items()
+        },
+        "segment_bytes": segment_bytes,
+        "segment_ratio": segment_bytes["float32"] / max(segment_bytes["float64"], 1),
+        "shm_roundtrip_equal": roundtrip_equal,
+        "attachment_closed": bool(attachment_closed),
+        "leaked_segments": leaks,
+    }
+    return headers, rows, summary
+
+
+# ----------------------------------------------------------------------
 # Runtime: signature-grouped batch inference vs the per-query loop
 # ----------------------------------------------------------------------
 def inference_batch(

@@ -59,6 +59,12 @@ class IAMConfig:
         corrects (ablation).
     assignment:
         'argmax' (Equation 5) or 'sampled' (the rejected alternative).
+    inference_precision:
+        'float64' (default) runs the bitwise-exact compiled plan;
+        'float32' compiles the serving tier — half the plan/scratch
+        bytes, gated by the q-error tolerance contract of
+        ``repro.bench inference_precision`` instead of bitwise equality
+        (docs/runtime.md "Precision tiers").
     """
 
     # model structure
@@ -88,6 +94,7 @@ class IAMConfig:
     bias_correction: bool = True
     assignment: str = "argmax"
     stratified_sampling: bool = False  # systematic draws on the first column
+    inference_precision: str = "float64"
 
     seed: int = 0
 
@@ -110,4 +117,9 @@ class IAMConfig:
             raise ConfigError(f"unknown train_backend {self.train_backend!r}")
         if self.n_workers < 0:
             raise ConfigError(f"n_workers must be >= 0, got {self.n_workers}")
+        if self.inference_precision not in ("float64", "float32"):
+            raise ConfigError(
+                f"unknown inference_precision {self.inference_precision!r} "
+                "(expected 'float64' or 'float32')"
+            )
         self.hidden_sizes = tuple(self.hidden_sizes)

@@ -38,13 +38,18 @@ def build_constraints(
     query: Query,
     bias_correction: bool = True,
     mass_cache: RangeMassCache | None = None,
+    dtype=np.float64,
 ) -> list[SlotConstraint | None]:
     """Per-column sampler constraints for one conjunctive query.
 
     ``mass_cache`` (when given) memoizes the per-component range masses
     ``P_GMM^k(R_i)`` across queries — bitwise-equal to the direct
     ``reducer.range_mass`` call, just cheaper on repeated bounds.
+    ``dtype`` is the sampler's working precision; the cache carries its
+    own tier, so the knob only shapes the masses built outside it
+    (empty-range zeros, the uncached path, the biased indicator).
     """
+    dtype = np.dtype(dtype)
     constraint_map = query.constraints(table)
     slots: list[SlotConstraint | None] = []
     for column, reducer in zip(table.columns, reducers):
@@ -53,15 +58,15 @@ def build_constraints(
             slots.append(None)  # wildcard skipping
             continue
         if constraint.is_empty:
-            slots.append(SlotConstraint(mass=np.zeros(reducer.n_tokens)))
+            slots.append(SlotConstraint(mass=np.zeros(reducer.n_tokens, dtype=dtype)))
             continue
         if mass_cache is not None:
             mass = mass_cache.range_mass(column.name, constraint.intervals)
         else:
-            mass = reducer.range_mass(constraint.intervals)
+            mass = np.asarray(reducer.range_mass(constraint.intervals), dtype=dtype)
         if not bias_correction and not reducer.is_exact:
             # Vanilla (biased) sampling: whole components inside R'.
-            mass = (mass > 0.0).astype(np.float64)
+            mass = (mass > 0.0).astype(mass.dtype)
         slots.append(SlotConstraint(mass=mass))
     return slots
 
@@ -72,6 +77,7 @@ def build_constraints_batch(
     queries: Sequence[Query],
     bias_correction: bool = True,
     mass_cache: RangeMassCache | None = None,
+    dtype=np.float64,
 ) -> list[list[SlotConstraint | None]]:
     """Batched :func:`build_constraints`: one mass lookup pass per column.
 
@@ -82,6 +88,7 @@ def build_constraints_batch(
     is bitwise-equal to ``build_constraints(table, reducers,
     queries[i], ...)``.
     """
+    dtype = np.dtype(dtype)
     constraint_maps = [query.constraints(table) for query in queries]
     all_slots: list[list[SlotConstraint | None]] = [
         [None] * len(table.columns) for _ in queries
@@ -93,7 +100,9 @@ def build_constraints_batch(
             if constraint is None:
                 continue  # wildcard skipping
             if constraint.is_empty:
-                all_slots[qi][ci] = SlotConstraint(mass=np.zeros(reducer.n_tokens))
+                all_slots[qi][ci] = SlotConstraint(
+                    mass=np.zeros(reducer.n_tokens, dtype=dtype)
+                )
                 continue
             requests.append((qi, constraint.intervals))
         if not requests:
@@ -103,10 +112,13 @@ def build_constraints_batch(
                 column.name, [intervals for _, intervals in requests]
             )
         else:
-            masses = [reducer.range_mass(intervals) for _, intervals in requests]
+            masses = [
+                np.asarray(reducer.range_mass(intervals), dtype=dtype)
+                for _, intervals in requests
+            ]
         for (qi, _), mass in zip(requests, masses):
             if not bias_correction and not reducer.is_exact:
-                mass = (mass > 0.0).astype(np.float64)
+                mass = (mass > 0.0).astype(mass.dtype)
             all_slots[qi][ci] = SlotConstraint(mass=mass)
     return all_slots
 
@@ -133,8 +145,11 @@ class IAMInference:
         self.sampler = sampler
         self.bias_correction = bias_correction
         if mass_cache is None:
+            # The cache serves masses in the sampler's precision tier so
+            # the grouped loop never promotes back to float64 mid-query.
             mass_cache = RangeMassCache(
-                {c.name: r for c, r in zip(table.columns, self.reducers)}
+                {c.name: r for c, r in zip(table.columns, self.reducers)},
+                dtype=sampler.dtype,
             )
         self.mass_cache = mass_cache
         # Constructed SlotConstraint lists per query (keyed by the query's
@@ -195,6 +210,7 @@ class IAMInference:
                 [query for _, query in order],
                 self.bias_correction,
                 mass_cache=self.mass_cache,
+                dtype=self.sampler.dtype,
             )
             for (key, _), slots in zip(order, built):
                 if len(self._constraint_cache) >= 4096:

@@ -31,7 +31,7 @@ from repro.core.config import IAMConfig
 from repro.core.inference import IAMInference, build_constraints
 from repro.core.training import JointTrainer
 from repro.data.table import Table
-from repro.errors import NotFittedError
+from repro.errors import ConfigError, NotFittedError
 from repro.metrics import clamp_selectivity
 from repro.query.query import Query
 from repro.reducers import (
@@ -174,21 +174,59 @@ class IAM:
             return random_order(len(vocab_sizes), seed=self.config.seed)
         return heuristic_order(vocab_sizes)
 
-    def _refresh_inference(self) -> None:
-        """(Re)build frozen mixtures, interval estimators, and the sampler."""
+    def _refresh_inference(self, finalise: bool = True) -> None:
+        """(Re)build frozen mixtures, interval estimators, and the sampler.
+
+        ``finalise=False`` keeps the existing frozen mixtures and
+        Monte-Carlo interval estimators (re-finalising re-draws the
+        interval samples from the stateful reducer streams) — the right
+        mode when only the sampler stack changes, e.g. a precision-tier
+        switch over unchanged weights.
+        """
         assert self.model is not None and self._table is not None
-        for reducer in self.reducers:
-            if isinstance(reducer, GMMReducer):
-                reducer.finalise()
+        if finalise:
+            for reducer in self.reducers:
+                if isinstance(reducer, GMMReducer):
+                    reducer.finalise()
         sampler = ProgressiveSampler(
             self.model,
             n_samples=self.config.n_progressive_samples,
             seed=ensure_rng(self.config.seed),
             stratify_first=self.config.stratified_sampling,
+            dtype=self._plan_dtype(),
         )
         self._inference = IAMInference(
             self._table, self.reducers, sampler, bias_correction=self.config.bias_correction
         )
+
+    def _plan_dtype(self):
+        """The compiled-plan dtype requested by ``inference_precision``
+        (None = the module's native float64, the bitwise-exact tier)."""
+        if self.config.inference_precision == "float32":
+            return np.float32
+        return None
+
+    def set_precision(self, precision: str) -> "IAM":
+        """Switch the inference precision tier in place.
+
+        Recompiles the plan (and rebuilds the sampler, mass cache, and
+        prefix cache — all dtype-pinned) when the model is fitted;
+        otherwise just records the knob for the eventual ``fit``.  The
+        serving layer calls this on register and on every hot reload so
+        a model keeps its tier across weight swaps.
+        """
+        if precision not in ("float64", "float32"):
+            raise ConfigError(
+                f"unknown inference_precision {precision!r} "
+                "(expected 'float64' or 'float32')"
+            )
+        changed = precision != self.config.inference_precision
+        self.config.inference_precision = precision
+        if changed and self._inference is not None:
+            # Weights and reducers are unchanged — rebuild only the
+            # sampler/mass-cache stack at the new tier.
+            self._refresh_inference(finalise=False)
+        return self
 
     # ------------------------------------------------------------------
     # Estimation

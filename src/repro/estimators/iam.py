@@ -69,3 +69,23 @@ class IAMEstimator(Estimator):
 
     def runtime_plan(self):
         return None if self.model is None else self.model.runtime_plan()
+
+    def set_precision(self, precision: str) -> "IAMEstimator":
+        """Switch the compiled-plan precision tier ('float64'|'float32').
+
+        Delegates to :meth:`repro.core.model.IAM.set_precision` when
+        fitted; before fit it just updates the config so the eventual
+        plan compiles at the requested tier.
+        """
+        if precision not in ("float64", "float32"):
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                f"unknown inference_precision {precision!r} "
+                "(expected 'float64' or 'float32')"
+            )
+        if self.model is not None:
+            self.model.set_precision(precision)  # shares self.config
+        else:
+            self.config.inference_precision = precision
+        return self

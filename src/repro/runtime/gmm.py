@@ -49,11 +49,19 @@ class RangeMassCache:
     reads and writes are plain dict operations guarded by the GIL and the
     serving layer's per-model lock; the cache itself keeps no other
     shared mutable state.
+
+    ``dtype`` is the precision tier of the masses the cache hands out
+    (the plan dtype of the sampler consuming them).  The float64 default
+    is bitwise-identical to calling the reducers directly; float32 casts
+    each memoized mass once at compute time so the sampler's weight
+    arithmetic never promotes back to float64 mid-loop.
     """
 
     def __init__(self, columns: dict[str, object] | None = None,
-                 max_entries_per_column: int = DEFAULT_MAX_ENTRIES_PER_COLUMN):
+                 max_entries_per_column: int = DEFAULT_MAX_ENTRIES_PER_COLUMN,
+                 dtype=np.float64):
         self._reducers: dict[str, object] = dict(columns or {})
+        self.dtype = np.dtype(dtype)
         self._single: dict[str, dict[Interval, np.ndarray]] = {}
         self._union: dict[str, dict[tuple[Interval, ...], np.ndarray]] = {}
         self.max_entries_per_column = max_entries_per_column
@@ -99,14 +107,14 @@ class RangeMassCache:
         if base_impl:
             # Reproduce DomainReducer.range_mass arithmetic exactly, but
             # pull each interval's mass through the level-1 memo.
-            total = np.zeros(reducer.n_tokens)
+            total = np.zeros(reducer.n_tokens, dtype=self.dtype)
             for low, high in key:
                 total += self._interval_mass(column, reducer, low, high)
             result = np.clip(total, 0.0, 1.0)
         else:
             # Reducers with a custom union rule (e.g. NullableReducer)
             # are memoized whole; decomposing could change their answer.
-            result = np.asarray(reducer.range_mass(list(key)))
+            result = np.asarray(reducer.range_mass(list(key)), dtype=self.dtype)
         result.setflags(write=False)
         if len(union) >= self.max_entries_per_column:
             union.clear()
@@ -158,12 +166,12 @@ class RangeMassCache:
                 # Same sum-then-clip arithmetic as range_mass, with each
                 # interval's mass pulled through the level-1 memo (so an
                 # interval shared by several queries is counted once).
-                total = np.zeros(reducer.n_tokens)
+                total = np.zeros(reducer.n_tokens, dtype=self.dtype)
                 for low, high in key:
                     total += self._interval_mass(column, reducer, low, high)
                 result = np.clip(total, 0.0, 1.0)
             else:
-                result = np.asarray(reducer.range_mass(list(key)))
+                result = np.asarray(reducer.range_mass(list(key)), dtype=self.dtype)
             result.setflags(write=False)
             if len(union) >= self.max_entries_per_column:
                 union.clear()
@@ -177,7 +185,7 @@ class RangeMassCache:
         cached = singles.get((low, high))
         if cached is not None:
             return cached
-        mass = np.asarray(reducer._interval_mass(low, high))
+        mass = np.asarray(reducer._interval_mass(low, high), dtype=self.dtype)
         mass.setflags(write=False)
         if len(singles) >= self.max_entries_per_column:
             singles.clear()

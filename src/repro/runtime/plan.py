@@ -18,8 +18,14 @@ same order on the same dtype, so logits — and therefore progressive-
 sampling selectivities — are **bitwise identical** to the
 ``nn``/``autodiff`` path (asserted by ``tests/test_runtime.py`` and the
 ``repro.bench inference`` experiment).  Compiling with a narrower
-``dtype`` (e.g. ``np.float32``) is supported but is an approximation,
-not a bitwise replay.
+``dtype`` (e.g. ``np.float32``) produces the *serving tier*: an
+approximation, not a bitwise replay, gated instead by the q-error
+tolerance contract of ``repro.bench inference_precision`` (max q-error
+ratio vs the float64 path <= 1.01; see docs/runtime.md "Precision
+tiers").  Everything downstream of the plan — prebound programs,
+PrefixCache entries, range-mass tables — carries the plan dtype, and a
+:class:`Workspace` is pinned to the first plan dtype that binds a
+program on it so the two tiers can never silently share scratch.
 
 Thread-safety contract
 ----------------------
@@ -43,7 +49,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigError, ShapeError
+from repro.errors import CompileError, ConfigError, ShapeError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.ar.made import MADE
@@ -65,9 +71,16 @@ class Workspace:
     every later request with the same key, so a sampler issuing the same
     batch shape D times per query allocates nothing after warm-up.  Not
     thread-safe: one workspace per concurrent caller.
+
+    A workspace is additionally pinned to one *plan* dtype: the first
+    compiled program bound onto it fixes the precision tier, and binding
+    a program of a different plan dtype raises :class:`CompileError`
+    (see :meth:`bind_program_dtype`).  Non-program buffers requested via
+    :meth:`get` are exempt — the sampler deliberately keeps its uniform
+    draws in float64 next to a float32 plan's scratch.
     """
 
-    __slots__ = ("_buffers", "_programs")
+    __slots__ = ("_buffers", "_programs", "_program_dtype")
 
     def __init__(self) -> None:
         self._buffers: dict[tuple, np.ndarray] = {}
@@ -78,6 +91,29 @@ class Workspace:
         # moved to the plan-owned PrefixCache so every workspace — and
         # every cluster worker — shares one copy.)
         self._programs: dict[tuple, tuple] = {}
+        # Plan dtype of the first program bound here; None until then.
+        self._program_dtype: np.dtype | None = None
+
+    def bind_program_dtype(self, dtype: np.dtype) -> None:
+        """Pin this workspace to plans of ``dtype`` (first bind wins).
+
+        Trunk-program buffers are keyed by dtype, so reusing one
+        workspace across a float64 and a float32 plan would not corrupt
+        results — it would silently double the scratch footprint and
+        defeat the bandwidth win the narrow tier exists for.  The plan
+        calls this before binding a program; a cross-tier reuse raises
+        :class:`CompileError` so the caller allocates one workspace per
+        precision tier instead.
+        """
+        if self._program_dtype is None:
+            self._program_dtype = np.dtype(dtype)
+        elif self._program_dtype != np.dtype(dtype):
+            raise CompileError(
+                f"workspace already holds {self._program_dtype} program "
+                f"scratch; binding a {np.dtype(dtype)} plan program onto it "
+                "would silently mix precision tiers — use one Workspace per "
+                "plan dtype (or clear() this one first)"
+            )
 
     def get(self, tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
         """Return the reusable buffer for ``(tag, shape, dtype)``.
@@ -94,6 +130,7 @@ class Workspace:
     def clear(self) -> None:
         self._buffers.clear()
         self._programs.clear()
+        self._program_dtype = None
 
     @property
     def nbytes(self) -> int:
@@ -167,13 +204,21 @@ class PrefixCache:
     The cache is bounded (FIFO eviction at ``max_entries``) so
     adversarial workloads — many distinct equality prefixes — cannot
     grow it without limit.
+
+    When constructed with a ``dtype`` (every plan-owned cache is), the
+    cache is pinned to that precision tier: storing an entry of any
+    other dtype raises :class:`ConfigError`.  Plans of different dtypes
+    already own distinct caches (their fingerprints differ), so the pin
+    is a tripwire, making f32/f64 cross-contamination structurally
+    impossible rather than merely unlikely.
     """
 
-    def __init__(self, max_entries: int = 256) -> None:
+    def __init__(self, max_entries: int = 256, dtype=None) -> None:
         if max_entries < 1:
             raise ConfigError("PrefixCache max_entries must be >= 1")
         self._lock = threading.Lock()
         self.max_entries = int(max_entries)
+        self.dtype = None if dtype is None else np.dtype(dtype)
         self._entries: dict[tuple, np.ndarray] = {}
         self._hits = 0
         self._misses = 0
@@ -191,6 +236,12 @@ class PrefixCache:
 
     def store(self, key: tuple, array: np.ndarray) -> None:
         """Insert ``array`` (frozen in place) unless ``key`` is present."""
+        if self.dtype is not None and array.dtype != self.dtype:
+            raise ConfigError(
+                f"PrefixCache is pinned to {self.dtype}; refusing to store a "
+                f"{array.dtype} entry for key {key!r} — per-dtype caches must "
+                "not cross-contaminate precision tiers"
+            )
         with self._lock:
             if key in self._entries:
                 return  # a concurrent caller won the race; keep its entry
@@ -221,7 +272,8 @@ class PrefixCache:
         # freshly compiled plan's. Pinned to the base class: dynamic
         # instrumentation subclasses (the race sanitizer's) are
         # process-local and not picklable by name.
-        return (PrefixCache, (self.max_entries,))
+        dtype = None if self.dtype is None else self.dtype.str
+        return (PrefixCache, (self.max_entries, dtype))
 
     def __len__(self) -> int:
         with self._lock:
@@ -332,7 +384,8 @@ class MADEPlan:
         # Shared logits cache for constrained-column prefixes.  The cache
         # object itself is internally locked; the *reference* never
         # changes after __init__, preserving the immutability contract.
-        self.prefix_cache = PrefixCache()
+        # Pinned to the plan dtype so precision tiers cannot mix entries.
+        self.prefix_cache = PrefixCache(dtype=self.dtype)
 
     # ------------------------------------------------------------------
     def ar_order(self) -> list[int]:
@@ -580,6 +633,10 @@ class MADEPlan:
         capacity: int | None = None,
     ) -> np.ndarray:
         """Trunk activations up to (excluding) the output projection."""
+        # Every forward funnels through here, so the whole-workspace
+        # dtype pin lives here: it covers the prebound-program hot path
+        # AND the interpreter path in one check.
+        workspace.bind_program_dtype(self.dtype)
         if wildcard_mask is None:
             # Hot path (the sampler encodes wildcards in the ids): replay
             # the identical op sequence from the compiled program.
@@ -814,7 +871,10 @@ def compile_made(made: "MADE", dtype=None) -> MADEPlan:
     refresh, the serving layer on every hot reload).
 
     ``dtype=None`` keeps the module's native dtype (float64), which is
-    the bitwise-exact mode; a narrower dtype trades exactness for speed.
+    the bitwise-exact mode; ``dtype=np.float32`` compiles the serving
+    tier — half the weight/scratch bytes and roughly double the
+    effective memory bandwidth, gated by the q-error tolerance contract
+    (``repro.bench inference_precision``) instead of bitwise equality.
     """
     for attribute in ("vocab_sizes", "positions", "embed_widths", "residual"):
         if not hasattr(made, attribute):

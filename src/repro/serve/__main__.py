@@ -71,12 +71,14 @@ def build_demo_service(
     quiet: bool = False,
     workers: int = 1,
     shard_policy: str = "replicate",
+    precision: str | None = None,
 ) -> EstimationService:
     """Fit a small IAM on a synthetic dataset and serve it by name.
 
     ``workers > 1`` returns a started
     :class:`~repro.serve.cluster.ClusterService` instead (same duck type
-    as far as the HTTP layer is concerned).
+    as far as the HTTP layer is concerned).  ``precision`` pins the
+    compiled-plan tier ('float64' | 'float32') for the served model.
     """
     estimator = _fit_demo_estimator(dataset, rows, epochs, quiet=quiet)
     if workers > 1:
@@ -89,13 +91,13 @@ def build_demo_service(
                 serve=config or ServeConfig(),
             )
         )
-        cluster.register(dataset, estimator)
+        cluster.register(dataset, estimator, precision=precision)
         if not quiet:
             print(f"starting {workers} worker processes ...", flush=True)
         cluster.start()
         return cluster
     service = EstimationService(config=config)
-    service.register(dataset, estimator)
+    service.register(dataset, estimator, precision=precision)
     return service
 
 
@@ -413,6 +415,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shard-policy", choices=["replicate", "hash"],
                         default="replicate",
                         help="request routing across workers")
+    parser.add_argument("--precision", choices=["float64", "float32"],
+                        default=None,
+                        help="compiled-plan precision tier for the demo "
+                             "model (float32 = the q-error-gated serving "
+                             "tier, half-size plans and shm segments)")
     parser.add_argument("--selftest", action="store_true",
                         help="run the end-to-end smoke test and exit")
     args = parser.parse_args(argv)
@@ -434,6 +441,7 @@ def main(argv: list[str] | None = None) -> int:
     service = build_demo_service(
         args.dataset, rows=args.rows, epochs=args.epochs, config=config,
         workers=args.workers, shard_policy=args.shard_policy,
+        precision=args.precision,
     )
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]

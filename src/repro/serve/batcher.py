@@ -198,6 +198,10 @@ class MicroBatcher:
             results = self.run_batch(
                 queries, None if any(r is None for r in rngs) else rngs
             )
+            # Wire boundary for precision tiers: a float32 estimator's
+            # selectivities widen exactly here (value-preserving — every
+            # float32 is a float64), so callers, the cache, and the HTTP
+            # layer always speak doubles regardless of the plan dtype.
             values = [float(v) for v in np.asarray(results, dtype=np.float64)]
             if len(values) != len(batch):
                 raise ServeError(

@@ -56,6 +56,7 @@ from repro.serve.cluster import shm
 from repro.serve.service import (
     EstimateResult,
     ServeConfig,
+    _apply_precision,
     _estimator_from_archive,
     _mtime,
     _runtime_plan_of,
@@ -581,6 +582,7 @@ class _ClusterModel:
     segment: shm.PlanSegment
     source_path: str | None = None
     source_mtime: float | None = None
+    precision: str | None = None  # pinned plan tier, re-applied on reload
 
 
 class ClusterService:
@@ -633,14 +635,23 @@ class ClusterService:
         estimator: Estimator,
         fallback: Estimator | str | None = None,
         source_path: str | None = None,
+        precision: str | None = None,
     ) -> _ClusterModel:
         """Publish ``estimator``'s plan and serve it under ``name``.
 
         The new segment is linked and broadcast before the old
         generation's is released, so workers always hold a complete
         generation; the old segment unlinks once its last mapping closes.
+
+        ``precision`` pins the plan tier (as in
+        :meth:`EstimationService.register`): the estimator is switched
+        before its plan is published — a float32 tier ships a roughly
+        half-size segment — and hot reloads re-apply the pin, so the
+        publish-new / broadcast / release-old sequence swaps tiers as
+        atomically as it swaps weights.
         """
         estimator.table  # raises NotFittedError on unfitted models
+        _apply_precision(estimator, precision)
         plan = _runtime_plan_of(estimator)
         if plan is None:
             raise ConfigError(
@@ -658,6 +669,7 @@ class ClusterService:
             segment=shm.publish_plan(plan),
             source_path=source_path,
             source_mtime=_mtime(source_path),
+            precision=precision,
         )
         with self._lock:
             self._models[name] = record
@@ -681,11 +693,14 @@ class ClusterService:
         self.telemetry.increment("models.registered")
         return record
 
-    def load_model(self, name: str, path: str, table, fallback=None) -> _ClusterModel:
+    def load_model(
+        self, name: str, path: str, table, fallback=None,
+        precision: str | None = None,
+    ) -> _ClusterModel:
         """Load a ``save_iam`` archive and serve it cluster-wide."""
         return self.register(
             name, _estimator_from_archive(path, table), fallback=fallback,
-            source_path=path,
+            source_path=path, precision=precision,
         )
 
     def reload(self, name: str, force: bool = False) -> bool:
@@ -698,7 +713,8 @@ class ClusterService:
             return False
         fresh = _estimator_from_archive(record.source_path, record.estimator.table)
         self.register(
-            name, fresh, fallback=record.fallback or "", source_path=record.source_path
+            name, fresh, fallback=record.fallback or "",
+            source_path=record.source_path, precision=record.precision,
         )
         self.telemetry.increment("models.reloaded")
         return True
@@ -729,6 +745,7 @@ class ClusterService:
                 "version": r.version,
                 "compiled": True,
                 "plan_fingerprint": r.fingerprint,
+                "plan_dtype": r.segment.dtype,
                 "segment": r.segment.describe(),
                 "source_path": r.source_path,
                 "fallback": getattr(r.fallback, "name", None),

@@ -95,13 +95,19 @@ class PlanSegment(shmio.Segment):
     _error = ServeError
 
     def __init__(self, name: str, fingerprint: str, nbytes: int,
-                 segment: shared_memory.SharedMemory):
+                 segment: shared_memory.SharedMemory,
+                 dtype: str | None = None):
         super().__init__(name, nbytes, segment)
         self.fingerprint = fingerprint
+        # The published plan's dtype string (e.g. '<f8' / '<f4'): a
+        # float32 tier publishes roughly half the bytes of the float64
+        # plan for the same weights, and /models reports both.
+        self.dtype = dtype
 
     def describe(self) -> dict:
         described = super().describe()
         described["fingerprint"] = self.fingerprint
+        described["dtype"] = self.dtype
         return described
 
 
@@ -118,7 +124,7 @@ def publish_plan(plan: MADEPlan, nonce: int | None = None) -> PlanSegment:
         segment_name(plan.fingerprint, nonce), _MAGIC, meta, arrays
     )
     return PlanSegment(segment.name, plan.fingerprint, segment.nbytes,
-                       segment.mapping)
+                       segment.mapping, dtype=meta.get("dtype"))
 
 
 class PlanAttachment:

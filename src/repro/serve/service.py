@@ -93,11 +93,15 @@ class ServedModel:
         fallback: Estimator | None = None,
         source_path: str | None = None,
         telemetry: Telemetry | None = None,
+        precision: str | None = None,
     ):
         self.name = name
         self.estimator = estimator
         self.fallback = fallback
         self.source_path = source_path
+        # Requested precision tier (None = the estimator's own config);
+        # re-applied to every fresh estimator a hot reload swaps in.
+        self.precision = precision
         self.source_mtime = _mtime(source_path)
         self.version = 0
         self.lock = threading.RLock()
@@ -185,6 +189,8 @@ class ServedModel:
             "version": version,
             "compiled": plan is not None,
             "plan_fingerprint": None if plan is None else plan.fingerprint,
+            "plan_dtype": None if plan is None else str(plan.dtype),
+            "plan_nbytes": None if plan is None else plan.nbytes(),
             "source_path": self.source_path,
             "fallback": getattr(self.fallback, "name", None),
             "batches": stats.batches,
@@ -203,6 +209,25 @@ def _runtime_plan_of(estimator) -> object | None:
     (tests and plugins) that predate the Estimator base method."""
     getter = getattr(estimator, "runtime_plan", None)
     return getter() if callable(getter) else None
+
+
+def _apply_precision(estimator, precision: str | None) -> None:
+    """Pin ``estimator`` to a compiled-plan precision tier.
+
+    ``None`` leaves the estimator at its own configured tier.  An
+    estimator without :meth:`set_precision` (duck-typed test doubles,
+    non-AR estimators) cannot honour the knob, so asking for one is a
+    configuration error, not a silent no-op.
+    """
+    if precision is None:
+        return
+    setter = getattr(estimator, "set_precision", None)
+    if not callable(setter):
+        raise ConfigError(
+            f"estimator {type(estimator).__name__} does not support "
+            f"precision tiers (requested {precision!r})"
+        )
+    setter(precision)
 
 
 def _batch_groups_of(estimator) -> list[int] | None:
@@ -243,6 +268,7 @@ class EstimationService:
         estimator: Estimator,
         fallback: Estimator | str | None = None,
         source_path: str | None = None,
+        precision: str | None = None,
     ) -> ServedModel:
         """Serve a fitted estimator under ``name`` (replacing any holder).
 
@@ -250,8 +276,15 @@ class EstimationService:
         :class:`Estimator`, a registry name to fit on the model's table
         now, or ``None`` to use ``config.fallback_estimator`` (pass the
         empty string to disable fallback for this model).
+
+        ``precision`` ('float64' | 'float32') pins this model's
+        compiled-plan tier: applied to the estimator now and re-applied
+        to every fresh estimator a hot :meth:`reload` swaps in, so a
+        model keeps its tier across weight updates.  ``None`` serves the
+        estimator at whatever tier it already carries.
         """
         estimator.table  # raises NotFittedError early on unfitted models
+        _apply_precision(estimator, precision)
         resolved = self._resolve_fallback(estimator, fallback)
         model = ServedModel(
             name,
@@ -260,6 +293,7 @@ class EstimationService:
             fallback=resolved,
             source_path=source_path,
             telemetry=self.telemetry,
+            precision=precision,
         )
         with self._registry_lock:
             previous = self._models.get(name)
@@ -269,15 +303,19 @@ class EstimationService:
         self.telemetry.increment("models.registered")
         return model
 
-    def load_model(self, name: str, path: str, table, fallback=None) -> ServedModel:
+    def load_model(
+        self, name: str, path: str, table, fallback=None, precision: str | None = None
+    ) -> ServedModel:
         """Load a ``save_iam`` archive and serve it under ``name``.
 
         ``table`` rebinds inference exactly as
         :func:`repro.core.persistence.load_iam` requires; the archive
         path is remembered so :meth:`reload` can hot-swap new weights.
+        ``precision`` pins the plan tier as in :meth:`register`.
         """
         return self.register(
-            name, _estimator_from_archive(path, table), fallback=fallback, source_path=path
+            name, _estimator_from_archive(path, table), fallback=fallback,
+            source_path=path, precision=precision,
         )
 
     def reload(self, name: str, force: bool = False) -> bool:
@@ -303,6 +341,10 @@ class EstimationService:
         if not force and current is not None and current == last_mtime:
             return False
         fresh = _estimator_from_archive(model.source_path, table)
+        # Re-apply the pinned tier before the swap (outside the lock —
+        # recompiling the plan is the slow part), so readers atomically
+        # go from old-tier plan to new-tier plan with nothing in between.
+        _apply_precision(fresh, model.precision)
         with model.lock:
             model.estimator = fresh
             model.plan = _runtime_plan_of(fresh)

@@ -21,7 +21,7 @@ from repro.ar.made import build_made
 from repro.ar.progressive import ProgressiveSampler, SlotConstraint
 from repro.core.inference import IAMInference, build_constraints
 from repro.core.persistence import save_iam
-from repro.errors import ConfigError, ShapeError
+from repro.errors import CompileError, ConfigError, ShapeError
 from repro.estimators.naru import NaruEstimator
 from repro.query.query import Query
 from repro.reducers.base import DomainReducer
@@ -636,3 +636,129 @@ class TestServeRuntimeIntegration:
             svc.estimate("s", twi_workload.queries[0])
         finally:
             svc.close()
+
+
+# ---------------------------------------------------------------------------
+# Precision tiers: float32 plans, dtype pinning, tolerance harness
+# ---------------------------------------------------------------------------
+
+
+class TestPrecisionTiers:
+    def test_workspace_rejects_cross_dtype_program(self):
+        """Binding a float32 program onto float64 scratch is a CompileError."""
+        made = make_model("resmade")
+        plan64 = compile_made(made)
+        plan32 = compile_made(made, dtype=np.float32)
+        ws = Workspace()
+        tokens, wildcard = random_inputs(8, seed=6)
+        plan64.forward_logits(tokens, wildcard, workspace=ws)
+        with pytest.raises(CompileError):
+            plan32.forward_logits(tokens, wildcard, workspace=ws)
+        ws.clear()  # clearing unpins the workspace for the other tier
+        out = plan32.forward_logits(tokens, wildcard, workspace=ws)
+        assert out.dtype == np.float32
+        with pytest.raises(CompileError):
+            plan64.forward_logits(tokens, wildcard, workspace=ws)
+
+    def test_prefix_cache_pinned_to_plan_dtype(self):
+        from repro.runtime.plan import PrefixCache
+
+        made = make_model("resmade")
+        plan32 = compile_made(made, dtype=np.float32)
+        assert plan32.prefix_cache.dtype == np.float32
+        with pytest.raises(ConfigError):
+            plan32.prefix_cache.store(("k",), np.zeros(4))  # float64 entry
+        unpinned = PrefixCache()
+        unpinned.store(("k",), np.zeros(4))  # no dtype pin -> anything goes
+
+    def test_per_dtype_prefix_caches_do_not_cross_contaminate(self):
+        """f32 replay after f64 warmup (and vice versa) changes nothing."""
+        made = make_model("resmade")
+        queries = [toy_constraints(1), toy_constraints(3)]
+
+        def run_pair(first: str):
+            plans = {
+                "f64": compile_made(made),
+                "f32": compile_made(made, dtype=np.float32),
+            }
+            order = ("f64", "f32") if first == "f64" else ("f32", "f64")
+            answers = {}
+            for label in order:  # second run replays after the other's warmup
+                sampler = ProgressiveSampler(plans[label], n_samples=32, seed=3)
+                sampler.sample_weights(queries)
+                answers[label] = ProgressiveSampler(
+                    plans[label], n_samples=32, seed=3
+                ).sample_weights(queries)
+            for label, want in (("f64", np.float64), ("f32", np.float32)):
+                for _, array in plans[label].prefix_cache.export():
+                    assert array.dtype == want
+            return answers
+
+        forward, backward = run_pair("f64"), run_pair("f32")
+        assert np.array_equal(forward["f64"], backward["f64"])
+        assert np.array_equal(forward["f32"], backward["f32"])
+
+    def test_qerror_harness_flags_perturbed_plan(self):
+        """The tolerance harness itself must catch a tampered plan."""
+        from repro.bench.experiments import max_qerror_ratio
+
+        reference = np.array([0.1, 0.02, 0.5])
+        assert max_qerror_ratio(reference, reference) == 1.0
+        assert max_qerror_ratio(reference, reference * 1.02) > 1.01
+        assert max_qerror_ratio(reference * 1.02, reference) > 1.01  # symmetric
+        assert max_qerror_ratio([0.0], [0.0]) == 1.0  # shared zeros score 1.0
+
+        made = make_model("resmade")
+        plan = compile_made(made)
+        meta, arrays = plan.to_buffers()
+        tampered_arrays = {
+            name: (array * 1.5 if name == "out_weight" else array)
+            for name, array in arrays.items()
+        }
+        tampered = MADEPlan.from_buffers(meta, tampered_arrays, verify=False)
+        queries = [toy_constraints(1), toy_constraints(3)]
+        good = ProgressiveSampler(plan, n_samples=64, seed=2).estimate_batch(queries)
+        bad = ProgressiveSampler(tampered, n_samples=64, seed=2).estimate_batch(queries)
+        assert max_qerror_ratio(good, bad) > 1.01
+
+    def test_config_validates_inference_precision(self):
+        from repro.core.config import IAMConfig
+
+        with pytest.raises(ConfigError):
+            IAMConfig(inference_precision="float16")
+        assert IAMConfig(inference_precision="float32").inference_precision == "float32"
+
+    def test_set_precision_switch_is_deterministic(self, twi_small):
+        """Tier switches are pure: no re-finalise, bitwise-reversible."""
+        from repro.core.config import IAMConfig
+        from repro.core.model import IAM
+        from repro.query.workload import Workload
+
+        config = dict(
+            n_components=6,
+            gmm_domain_threshold=100,
+            epochs=1,
+            hidden_sizes=(16, 16),
+            n_progressive_samples=64,
+            samples_per_component=500,
+            seed=0,
+        )
+        queries = Workload.generate(twi_small, 6, seed=9).queries
+
+        model = IAM(IAMConfig(**config)).fit(twi_small)
+        baseline64 = model.estimate_many(queries)
+        fresh32 = IAM(
+            IAMConfig(**config, inference_precision="float32")
+        ).fit(twi_small).estimate_many(queries)
+
+        model.set_precision("float32")
+        assert model.runtime_plan().dtype == np.float32
+        switched = model.estimate_many(queries)
+        assert np.array_equal(switched, fresh32)  # switch == fresh f32 fit
+
+        model.set_precision("float64")
+        assert model.runtime_plan().dtype == np.float64
+        assert np.array_equal(model.estimate_many(queries), baseline64)
+
+        with pytest.raises(ConfigError):
+            model.set_precision("bfloat16")

@@ -425,3 +425,55 @@ class TestHotReload:
             assert svc._require_model("twi").current_version() == 1
         finally:
             svc.close()
+
+
+# ----------------------------------------------------------------------
+# Precision tiers through the serving layer
+# ----------------------------------------------------------------------
+class TestPrecisionServing:
+    def test_precision_knob_threads_through_load_and_reload(
+        self, fitted_iam, twi_small, tmp_path, twi_workload
+    ):
+        path = os.fspath(tmp_path / "iam.npz")
+        save_iam(fitted_iam, path)
+        query = twi_workload.queries[0]
+
+        svc = EstimationService(ServeConfig(fallback_estimator=None))
+        try:
+            svc.load_model("twi", path, twi_small, precision="float32")
+            served = svc._require_model("twi")
+            assert served.precision == "float32"
+            info = served.describe()
+            assert info["plan_dtype"] == "float32"
+            assert info["plan_nbytes"] == served.plan.nbytes()
+            before = svc.estimate("twi", query).selectivity
+
+            # The same archive served at the default tier stays float64.
+            reference = EstimationService(ServeConfig(fallback_estimator=None))
+            try:
+                reference.load_model("twi", path, twi_small)
+                assert (
+                    reference._require_model("twi").describe()["plan_dtype"]
+                    == "float64"
+                )
+            finally:
+                reference.close()
+
+            # Hot reload re-applies the model's tier to the fresh estimator.
+            os.utime(path, (time.time() + 5, time.time() + 5))
+            assert svc.reload("twi") is True
+            assert svc._require_model("twi").describe()["plan_dtype"] == "float32"
+            assert svc.estimate("twi", query).selectivity == before
+        finally:
+            svc.close()
+
+    def test_precision_rejected_for_estimators_without_tiers(self, twi_small):
+        from repro.estimators.registry import build_estimator
+
+        estimator = build_estimator("sampling", fraction=0.05, seed=0).fit(twi_small)
+        svc = EstimationService(ServeConfig(fallback_estimator=None))
+        try:
+            with pytest.raises(ConfigError):
+                svc.register("s", estimator, precision="float32")
+        finally:
+            svc.close()

@@ -93,6 +93,40 @@ class TestSharedPlanSegments:
         with pytest.raises(ServeError):
             segment.retain()
 
+    def test_float32_segment_halves_bytes_and_roundtrips(self, iam_estimator):
+        from repro.runtime import compile_made
+
+        made = iam_estimator.model.model
+        # Fresh plans for both tiers: cold prefix caches, so the byte
+        # ratio compares weights alone (a warm f64 cache would skew it).
+        plan64 = compile_made(made)
+        plan32 = compile_made(made, dtype=np.float32)
+        seg64 = publish_plan(plan64, nonce=911)
+        seg32 = publish_plan(plan32, nonce=912)
+        try:
+            assert np.dtype(seg64.dtype) == np.float64
+            assert np.dtype(seg32.dtype) == np.float32
+            assert seg32.describe()["dtype"] == seg32.dtype
+            assert seg32.nbytes <= 0.6 * seg64.nbytes
+            attachment = attach_plan(seg32.name, verify=True)
+            try:
+                shared = attachment.plan
+                assert shared.dtype == np.float32
+                rng = np.random.default_rng(4)
+                tokens = np.column_stack(
+                    [rng.integers(0, v, size=16) for v in plan32.vocab_sizes]
+                )
+                assert np.array_equal(
+                    shared.forward_logits(tokens), plan32.forward_logits(tokens)
+                )
+            finally:
+                del shared
+                attachment.close()
+        finally:
+            assert seg64.release() is True
+            assert seg32.release() is True
+        assert seg64.released and seg32.released
+
     def test_attach_rejects_foreign_segment(self):
         from multiprocessing import shared_memory
 

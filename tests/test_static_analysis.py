@@ -249,6 +249,38 @@ class TestSmallRules:
         assert rule_ids(report) == ["dtype-drift"]
         assert report.findings[0].path == "nn/layer.py"
 
+    def test_dtype_drift_plan_path(self, tmp_path):
+        write_tree(tmp_path, {
+            "runtime/plan.py": """
+                import numpy as np
+
+                def program(x, buf, cache, key):
+                    np.exp(x, out=buf)           # fine: lands in workspace scratch
+                    bad = np.exp(x)              # flagged: allocates at promotion dtype
+                    cache.store(key, _frozen(buf, np.float32))  # fine
+                    cache.store(key, bad)        # flagged: unfrozen cache entry
+                    return np.float64
+            """,
+            "ar/progressive.py": """
+                import numpy as np
+
+                A = np.zeros(3, dtype=np.float64)
+                B = np.zeros(3, dtype=np.float32)
+
+                def ok(x, out):
+                    return np.maximum(x, 0.0, out=out)
+            """,
+        })
+        report = analyze([tmp_path], rules=make_rules(["dtype-drift"]))
+        assert rule_ids(report) == ["dtype-drift", "dtype-drift"]
+        messages = [f.message for f in report.findings]
+        assert any("out=" in m for m in messages)
+        assert any("_frozen" in m for m in messages)
+        # Plan-path files legitimately name both dtypes (the tier knob
+        # itself); the literal-mixing check must not fire there, so the
+        # clean ar/progressive.py fixture yields nothing.
+        assert all(f.path == "runtime/plan.py" for f in report.findings)
+
     def test_mutable_default_arg(self, tmp_path):
         write_tree(tmp_path, {
             "mod.py": """
